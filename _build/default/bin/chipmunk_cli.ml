@@ -1,0 +1,239 @@
+(* chipmunk-cli: command-line front end for the Chipmunk crash-consistency
+   testing framework.
+
+     chipmunk-cli list                        file systems and catalogued bugs
+     chipmunk-cli ace --fs nova --suite seq1  run an ACE suite
+     chipmunk-cli fuzz --fs winefs --execs N  run a fuzzing campaign
+     chipmunk-cli bug --no 4                  reproduce one catalogued bug *)
+
+open Cmdliner
+
+let fs_names = List.map fst Catalog.clean_drivers
+
+let driver_of_name ~buggy name =
+  if buggy then
+    match Catalog.buggy_driver name with
+    | Some mk -> Ok (mk ())
+    | None -> Error (Printf.sprintf "unknown file system %S" name)
+  else
+    match List.assoc_opt name Catalog.clean_drivers with
+    | Some mk -> Ok (mk ())
+    | None -> Error (Printf.sprintf "unknown file system %S" name)
+
+let fs_arg =
+  let doc = "File system under test: " ^ String.concat ", " fs_names ^ "." in
+  Arg.(value & opt string "nova" & info [ "fs" ] ~docv:"FS" ~doc)
+
+let buggy_arg =
+  let doc = "Arm the catalogued bugs of the chosen file system." in
+  Arg.(value & flag & info [ "buggy" ] ~doc)
+
+let cap_arg =
+  let doc = "Cap on in-flight writes replayed per crash state (0 = exhaustive)." in
+  Arg.(value & opt int 0 & info [ "cap" ] ~docv:"N" ~doc)
+
+let opts_of_cap cap =
+  if cap <= 0 then Chipmunk.Harness.default_opts
+  else { Chipmunk.Harness.default_opts with cap = Some cap }
+
+let list_cmd =
+  let run () =
+    Printf.printf "File systems:\n";
+    List.iter
+      (fun (name, mk) ->
+        let d = mk () in
+        Printf.printf "  %-12s %-6s atomic-data=%b device=%d bytes\n" name
+          (match d.Vfs.Driver.consistency with
+          | Vfs.Driver.Strong -> "strong"
+          | Vfs.Driver.Weak -> "weak")
+          d.Vfs.Driver.atomic_data d.Vfs.Driver.device_size)
+      Catalog.clean_drivers;
+    Printf.printf "\nCatalogued bugs (%d instances, %d unique):\n" (List.length Catalog.all)
+      Catalog.unique_bugs;
+    List.iter
+      (fun (b : Catalog.t) ->
+        Printf.printf "  %2d %-12s [%s] %s\n" b.Catalog.bug_no b.Catalog.fs
+          (Catalog.bug_type_label b.Catalog.bug_type)
+          b.Catalog.consequence)
+      Catalog.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List file systems and catalogued bugs")
+    Term.(const (fun () -> run (); 0) $ const ())
+
+let suite_arg =
+  let doc = "ACE suite: seq1, seq2 or seq3." in
+  Arg.(value & opt string "seq1" & info [ "suite" ] ~docv:"SUITE" ~doc)
+
+let max_workloads_arg =
+  let doc = "Stop after this many workloads (0 = whole suite)." in
+  Arg.(value & opt int 0 & info [ "max-workloads" ] ~docv:"N" ~doc)
+
+let ace_cmd =
+  let run fs buggy suite cap max_workloads =
+    match driver_of_name ~buggy fs with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok driver ->
+      let mode =
+        if driver.Vfs.Driver.consistency = Vfs.Driver.Weak then Ace.Fsync else Ace.Strong
+      in
+      let workloads =
+        match suite with
+        | "seq1" -> Ok (Ace.seq1 mode)
+        | "seq2" -> Ok (Ace.seq2 mode)
+        | "seq3" -> Ok (Ace.seq3_metadata mode)
+        | s -> Error (Printf.sprintf "unknown suite %S" s)
+      in
+      (match workloads with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok workloads ->
+        let max_workloads = if max_workloads = 0 then None else Some max_workloads in
+        let r =
+          Chipmunk.Campaign.run ~opts:(opts_of_cap cap) ?max_workloads driver workloads
+        in
+        Printf.printf
+          "%s/%s: %d workloads, %d crash points, %d crash states, %.2fs, max in-flight %d\n"
+          fs suite r.Chipmunk.Campaign.workloads_run r.Chipmunk.Campaign.crash_points
+          r.Chipmunk.Campaign.crash_states r.Chipmunk.Campaign.elapsed
+          r.Chipmunk.Campaign.max_in_flight;
+        if r.Chipmunk.Campaign.events = [] then print_endline "no bugs found"
+        else begin
+          Printf.printf "%d unique finding(s):\n" (List.length r.Chipmunk.Campaign.events);
+          List.iter
+            (fun (e : Chipmunk.Campaign.event) ->
+              Printf.printf "\n--- found in %s after %.2fs ---\n%s" e.Chipmunk.Campaign.workload_name
+                e.Chipmunk.Campaign.elapsed
+                (Format.asprintf "%a" Chipmunk.Report.pp e.Chipmunk.Campaign.report))
+            r.Chipmunk.Campaign.events
+        end;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "ace" ~doc:"Run an ACE workload suite under Chipmunk")
+    Term.(const run $ fs_arg $ buggy_arg $ suite_arg $ cap_arg $ max_workloads_arg)
+
+let execs_arg =
+  let doc = "Maximum fuzzer executions." in
+  Arg.(value & opt int 500 & info [ "execs" ] ~docv:"N" ~doc)
+
+let seconds_arg =
+  let doc = "Maximum fuzzing time in seconds." in
+  Arg.(value & opt float 30.0 & info [ "seconds" ] ~docv:"S" ~doc)
+
+let seed_arg =
+  let doc = "Fuzzer RNG seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let save_arg =
+  let doc = "Directory to save each finding's workload into (created if missing)." in
+  Arg.(value & opt (some string) None & info [ "save" ] ~docv:"DIR" ~doc)
+
+let fuzz_cmd =
+  let run fs buggy execs seconds seed save =
+    match driver_of_name ~buggy fs with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok driver ->
+      let config =
+        {
+          Fuzz.Fuzzer.default_config with
+          Fuzz.Fuzzer.rng_seed = seed;
+          max_execs = execs;
+          max_seconds = seconds;
+        }
+      in
+      let r = Fuzz.Fuzzer.run ~config driver in
+      Printf.printf
+        "%s: %d execs, %d crash states, coverage %d, corpus %d, %.2fs\n" fs r.Fuzz.Fuzzer.execs
+        r.Fuzz.Fuzzer.crash_states r.Fuzz.Fuzzer.coverage r.Fuzz.Fuzzer.corpus_size
+        r.Fuzz.Fuzzer.elapsed;
+      Printf.printf "%d unique finding(s) in %d cluster(s)\n"
+        (List.length r.Fuzz.Fuzzer.events)
+        (List.length r.Fuzz.Fuzzer.clusters);
+      List.iteri
+        (fun i (c : Fuzz.Triage.cluster) ->
+          Printf.printf "  cluster %d (%d reports): %s\n" i (List.length c.Fuzz.Triage.members)
+            (Chipmunk.Report.summary c.Fuzz.Triage.representative))
+        r.Fuzz.Fuzzer.clusters;
+      (match save with
+      | None -> ()
+      | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iteri
+          (fun i (e : Fuzz.Fuzzer.event) ->
+            let path = Filename.concat dir (Printf.sprintf "finding-%02d.workload" i) in
+            Vfs.Workload_io.save ~path e.Fuzz.Fuzzer.workload;
+            Printf.printf "saved %s\n" path)
+          r.Fuzz.Fuzzer.events);
+      0
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Run a gray-box fuzzing campaign under Chipmunk")
+    Term.(const run $ fs_arg $ buggy_arg $ execs_arg $ seconds_arg $ seed_arg $ save_arg)
+
+let file_arg =
+  let doc = "Workload file (one syscall per line; see Vfs.Workload_io)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let replay_cmd =
+  let run fs buggy cap file =
+    match driver_of_name ~buggy fs with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok driver -> (
+      match Vfs.Workload_io.load ~path:file with
+      | Error e ->
+        Printf.eprintf "cannot load %s: %s\n" file e;
+        1
+      | Ok workload ->
+        let r = Chipmunk.Harness.test_workload ~opts:(opts_of_cap cap) driver workload in
+        Printf.printf "%s: %d crash states checked\n" fs
+          r.Chipmunk.Harness.stats.Chipmunk.Harness.crash_states;
+        (match r.Chipmunk.Harness.reports with
+        | [] ->
+          print_endline "crash consistent";
+          0
+        | reports ->
+          List.iter (fun rep -> Format.printf "%a" Chipmunk.Report.pp rep) reports;
+          0))
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a saved workload file under Chipmunk")
+    Term.(const run $ fs_arg $ buggy_arg $ cap_arg $ file_arg)
+
+let bug_no_arg =
+  let doc = "Catalogued bug number (paper Table 1)." in
+  Arg.(required & opt (some int) None & info [ "no" ] ~docv:"N" ~doc)
+
+let bug_cmd =
+  let run no =
+    match List.find_opt (fun (b : Catalog.t) -> b.Catalog.bug_no = no) Catalog.all with
+    | None ->
+      Printf.eprintf "no catalogued bug %d\n" no;
+      1
+    | Some b ->
+      Printf.printf "Bug %d (%s, %s): %s\naffected syscalls: %s\n\n" b.Catalog.bug_no b.Catalog.fs
+        (Catalog.bug_type_label b.Catalog.bug_type)
+        b.Catalog.consequence
+        (String.concat ", " b.Catalog.affected);
+      let r = Chipmunk.Harness.test_workload (b.Catalog.driver ()) b.Catalog.trigger in
+      Printf.printf "trigger workload checked %d crash states\n"
+        r.Chipmunk.Harness.stats.Chipmunk.Harness.crash_states;
+      (match r.Chipmunk.Harness.reports with
+      | [] ->
+        print_endline "bug NOT reproduced";
+        1
+      | rep :: _ ->
+        Format.printf "%a" Chipmunk.Report.pp rep;
+        0)
+  in
+  Cmd.v (Cmd.info "bug" ~doc:"Reproduce one catalogued bug") Term.(const run $ bug_no_arg)
+
+let () =
+  let info = Cmd.info "chipmunk-cli" ~doc:"Crash-consistency testing for PM file systems" in
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; ace_cmd; fuzz_cmd; bug_cmd; replay_cmd ]))

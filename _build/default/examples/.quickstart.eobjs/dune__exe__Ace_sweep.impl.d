@@ -1,0 +1,1 @@
+examples/ace_sweep.ml: Ace Catalog Chipmunk List Option Printf Vfs

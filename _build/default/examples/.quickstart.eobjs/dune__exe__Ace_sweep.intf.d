@@ -1,0 +1,1 @@
+examples/ace_sweep.mli:

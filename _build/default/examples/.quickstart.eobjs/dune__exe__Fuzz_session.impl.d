@@ -1,0 +1,1 @@
+examples/fuzz_session.ml: Catalog Chipmunk Format Fuzz List Option Printf

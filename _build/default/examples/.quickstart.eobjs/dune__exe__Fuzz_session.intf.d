@@ -1,0 +1,1 @@
+examples/fuzz_session.mli:

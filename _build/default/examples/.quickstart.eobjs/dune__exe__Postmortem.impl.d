@@ -1,0 +1,1 @@
+examples/postmortem.ml: Chipmunk Format Novafs Pmem Printf Vfs

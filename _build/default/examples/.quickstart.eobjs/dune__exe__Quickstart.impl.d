@@ -1,0 +1,1 @@
+examples/quickstart.ml: Chipmunk Format List Novafs Printf Vfs

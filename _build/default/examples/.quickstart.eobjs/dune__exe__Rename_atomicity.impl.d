@@ -1,0 +1,1 @@
+examples/rename_atomicity.ml: Array Chipmunk Format Novafs Persist Printf Vfs

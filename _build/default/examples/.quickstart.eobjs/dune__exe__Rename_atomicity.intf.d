@@ -1,0 +1,1 @@
+examples/rename_atomicity.mli:

@@ -1,0 +1,270 @@
+module Syscall = Vfs.Syscall
+
+type mode = Strong | Fsync
+
+let files = [ "/foo"; "/bar"; "/A/foo"; "/A/bar" ]
+let dirs = [ "/A"; "/B" ]
+
+type write_kind = W_append | W_overwrite | W_extend
+type falloc_range = F_inside | F_beyond
+
+type core =
+  | C_creat of string
+  | C_mkdir of string
+  | C_falloc of string * bool (* keep_size *) * falloc_range
+  | C_write of string * write_kind
+  | C_link of string * string
+  | C_unlink of string
+  | C_remove of string
+  | C_rename of string * string
+  | C_truncate of string * int
+  | C_rmdir of string
+  | C_setxattr of string * string
+  | C_removexattr of string * string
+
+let write_kind_to_string = function
+  | W_append -> "append"
+  | W_overwrite -> "overwrite"
+  | W_extend -> "extend"
+
+let core_to_string = function
+  | C_creat f -> Printf.sprintf "creat(%s)" f
+  | C_mkdir d -> Printf.sprintf "mkdir(%s)" d
+  | C_falloc (f, keep, r) ->
+    Printf.sprintf "falloc(%s,%s,%s)" f
+      (if keep then "keep" else "grow")
+      (match r with F_inside -> "inside" | F_beyond -> "beyond")
+  | C_write (f, k) -> Printf.sprintf "write(%s,%s)" f (write_kind_to_string k)
+  | C_link (s, d) -> Printf.sprintf "link(%s,%s)" s d
+  | C_unlink f -> Printf.sprintf "unlink(%s)" f
+  | C_remove p -> Printf.sprintf "remove(%s)" p
+  | C_rename (s, d) -> Printf.sprintf "rename(%s,%s)" s d
+  | C_truncate (f, n) -> Printf.sprintf "truncate(%s,%d)" f n
+  | C_rmdir d -> Printf.sprintf "rmdir(%s)" d
+  | C_setxattr (f, n) -> Printf.sprintf "setxattr(%s,%s)" f n
+  | C_removexattr (f, n) -> Printf.sprintf "removexattr(%s,%s)" f n
+
+let pairs l =
+  List.concat_map (fun a -> List.filter_map (fun b -> if a = b then None else Some (a, b)) l) l
+
+let core_ops =
+  List.map (fun f -> C_creat f) files
+  @ List.map (fun d -> C_mkdir d) dirs
+  @ List.concat_map
+      (fun f ->
+        [
+          C_falloc (f, true, F_inside);
+          C_falloc (f, true, F_beyond);
+          C_falloc (f, false, F_inside);
+          C_falloc (f, false, F_beyond);
+        ])
+      files
+  @ List.concat_map
+      (fun f -> [ C_write (f, W_append); C_write (f, W_overwrite); C_write (f, W_extend) ])
+      files
+  @ List.map (fun (s, d) -> C_link (s, d)) (pairs files)
+  @ List.map (fun f -> C_unlink f) files
+  @ List.map (fun p -> C_remove p) (files @ dirs)
+  @ List.map (fun (s, d) -> C_rename (s, d)) (pairs files @ pairs dirs)
+  @ List.concat_map (fun f -> [ C_truncate (f, 0); C_truncate (f, 100); C_truncate (f, 400) ]) files
+  @ List.map (fun d -> C_rmdir d) dirs
+
+let metadata_ops =
+  List.concat_map (fun f -> [ C_write (f, W_append); C_write (f, W_overwrite) ]) files
+  @ List.map (fun (s, d) -> C_link (s, d)) (pairs files)
+  @ List.map (fun f -> C_unlink f) files
+  @ List.map (fun (s, d) -> C_rename (s, d)) (pairs files @ pairs dirs)
+
+(* ------------------------------------------------------------------ *)
+(* Dependency satisfaction                                             *)
+
+type kind = File | Dir
+
+type state = {
+  mutable known : (string * kind) list;  (** paths believed to exist *)
+  mutable out : Syscall.t list;  (** reversed workload *)
+  mutable next_fd : int;
+  mutable seed : int;
+  mode : mode;
+}
+
+let emit st call = st.out <- call :: st.out
+
+let fresh_fd st =
+  let fd = st.next_fd in
+  st.next_fd <- fd + 1;
+  fd
+
+let fresh_seed st =
+  st.seed <- st.seed + 1;
+  st.seed
+
+let kind_of st path = List.assoc_opt path st.known
+let forget st path = st.known <- List.remove_assoc path st.known
+
+let add st path kind =
+  forget st path;
+  st.known <- (path, kind) :: st.known
+
+let rec ensure_dir st path =
+  if path <> "/" && kind_of st path <> Some Dir then begin
+    ensure_parents st path;
+    emit st (Syscall.Mkdir { path });
+    add st path Dir
+  end
+
+and ensure_parents st path =
+  match Vfs.Path.split_parent path with
+  | Error _ | Ok ([], _) -> ()
+  | Ok (parents, _) ->
+    let dir = "/" ^ String.concat "/" parents in
+    ensure_dir st dir
+
+let fsync_if_needed st fd = if st.mode = Fsync then emit st (Syscall.Fsync { fd_var = fd })
+
+(* Create [path] with ~300 bytes of content so overwrites, truncates and
+   in-place ranges have something to act on. *)
+let ensure_file st path =
+  if kind_of st path <> Some File then begin
+    ensure_parents st path;
+    let fd = fresh_fd st in
+    emit st (Syscall.Creat { path; fd_var = fd });
+    emit st (Syscall.Write { fd_var = fd; data = { seed = fresh_seed st; len = 300 } });
+    fsync_if_needed st fd;
+    emit st (Syscall.Close { fd_var = fd });
+    add st path File
+  end
+
+let ensure_absent st path =
+  match kind_of st path with
+  | None -> ()
+  | Some File ->
+    emit st (Syscall.Unlink { path });
+    forget st path
+  | Some Dir ->
+    emit st (Syscall.Rmdir { path });
+    forget st path
+
+let apply_core st core =
+  match core with
+  | C_creat path ->
+    ensure_parents st path;
+    ensure_absent st path;
+    let fd = fresh_fd st in
+    emit st (Syscall.Creat { path; fd_var = fd });
+    fsync_if_needed st fd;
+    emit st (Syscall.Close { fd_var = fd });
+    add st path File
+  | C_mkdir path ->
+    ensure_parents st path;
+    ensure_absent st path;
+    emit st (Syscall.Mkdir { path });
+    add st path Dir
+  | C_falloc (path, keep_size, range) ->
+    ensure_file st path;
+    let fd = fresh_fd st in
+    emit st (Syscall.Open { path; flags = [ Vfs.Types.O_RDWR ]; fd_var = fd });
+    let off, len = match range with F_inside -> (64, 100) | F_beyond -> (280, 200) in
+    emit st (Syscall.Fallocate { fd_var = fd; off; len; keep_size });
+    fsync_if_needed st fd;
+    emit st (Syscall.Close { fd_var = fd })
+  | C_write (path, k) ->
+    ensure_file st path;
+    let fd = fresh_fd st in
+    (match k with
+    | W_append ->
+      emit st (Syscall.Open { path; flags = [ Vfs.Types.O_WRONLY; Vfs.Types.O_APPEND ]; fd_var = fd });
+      emit st (Syscall.Write { fd_var = fd; data = { seed = fresh_seed st; len = 150 } })
+    | W_overwrite ->
+      emit st (Syscall.Open { path; flags = [ Vfs.Types.O_RDWR ]; fd_var = fd });
+      emit st (Syscall.Pwrite { fd_var = fd; off = 40; data = { seed = fresh_seed st; len = 100 } })
+    | W_extend ->
+      emit st (Syscall.Open { path; flags = [ Vfs.Types.O_RDWR ]; fd_var = fd });
+      emit st (Syscall.Pwrite { fd_var = fd; off = 280; data = { seed = fresh_seed st; len = 120 } }));
+    fsync_if_needed st fd;
+    emit st (Syscall.Close { fd_var = fd })
+  | C_link (src, dst) ->
+    ensure_file st src;
+    ensure_parents st dst;
+    ensure_absent st dst;
+    emit st (Syscall.Link { src; dst });
+    add st dst File
+  | C_unlink path ->
+    ensure_file st path;
+    emit st (Syscall.Unlink { path });
+    forget st path
+  | C_remove path ->
+    (if List.mem path dirs then ensure_dir st path else ensure_file st path);
+    emit st (Syscall.Remove { path });
+    forget st path
+  | C_rename (src, dst) ->
+    (if List.mem src dirs then ensure_dir st src else ensure_file st src);
+    ensure_parents st dst;
+    (* An existing destination makes rename-overwrite cases reachable;
+       directories must be empty for the rename to succeed, which dependency
+       tracking does not guarantee — those workloads simply fail benignly. *)
+    emit st (Syscall.Rename { src; dst });
+    (match kind_of st src with
+    | Some k ->
+      forget st src;
+      add st dst k
+    | None -> ());
+    (* Renaming a directory invalidates knowledge of paths beneath it. *)
+    st.known <-
+      List.filter
+        (fun (p, _) -> not (String.length p > String.length src
+                            && String.sub p 0 (String.length src + 1) = src ^ "/"))
+        st.known
+  | C_truncate (path, size) ->
+    ensure_file st path;
+    emit st (Syscall.Truncate { path; size })
+  | C_rmdir path ->
+    ensure_dir st path;
+    emit st (Syscall.Rmdir { path });
+    forget st path
+  | C_setxattr (path, name) ->
+    ensure_file st path;
+    emit st (Syscall.Setxattr { path; name; value = "v" ^ name })
+  | C_removexattr (path, name) ->
+    ensure_file st path;
+    emit st (Syscall.Setxattr { path; name; value = "seed" });
+    emit st (Syscall.Removexattr { path; name })
+
+let expand mode cores =
+  let st = { known = []; out = []; next_fd = 0; seed = 1000; mode } in
+  List.iter (apply_core st) cores;
+  if mode = Fsync then emit st Syscall.Sync;
+  List.rev st.out
+
+(* ------------------------------------------------------------------ *)
+(* Suites                                                              *)
+
+let named prefix mode seqs =
+  Seq.mapi (fun i cores -> (Printf.sprintf "%s-%05d" prefix i, expand mode cores)) seqs
+
+(* setxattr/removexattr only join the default (fsync) mode, matching the
+   paper: the DAX systems are the only ones that support them. *)
+let xattr_ops =
+  List.concat_map
+    (fun f -> [ C_setxattr (f, "user.attr"); C_removexattr (f, "user.attr") ])
+    files
+
+let ops_for mode = match mode with Strong -> core_ops | Fsync -> core_ops @ xattr_ops
+
+let seq1 mode = named "seq1" mode (List.to_seq (List.map (fun c -> [ c ]) (ops_for mode)))
+
+let product2 l =
+  Seq.concat_map (fun a -> Seq.map (fun b -> [ a; b ]) (List.to_seq l)) (List.to_seq l)
+
+let product3 l =
+  Seq.concat_map
+    (fun a ->
+      Seq.concat_map
+        (fun b -> Seq.map (fun c -> [ a; b; c ]) (List.to_seq l))
+        (List.to_seq l))
+    (List.to_seq l)
+
+let seq2 mode = named "seq2" mode (product2 (ops_for mode))
+let seq3_metadata mode = named "seq3" mode (product3 metadata_ops)
+
+let count s = Seq.fold_left (fun acc _ -> acc + 1) 0 s

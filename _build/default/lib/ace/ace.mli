@@ -1,0 +1,39 @@
+(** The Automatic Crash Explorer: systematic workload generation.
+
+    Following CrashMonkey's ACE (paper section 3.4.1), workloads are built
+    from a sequence of {e core operations} drawn from a small operation and
+    argument space over a fixed set of files and directories; dependencies
+    are then satisfied automatically (parent directories created, files
+    created and populated, descriptors opened and closed). A workload with
+    [n] core operations is a "seq-n" workload.
+
+    Two modes mirror the paper:
+    - [Strong] generates no fsync-family calls (for PM file systems with
+      strong guarantees);
+    - [Fsync] inserts an fsync after every data operation and a final sync
+      (the default CrashMonkey mode, used for ext4-DAX/XFS-DAX). *)
+
+type mode = Strong | Fsync
+
+type core
+(** One core operation (an opaque point in ACE's operation/argument space). *)
+
+val core_ops : core list
+(** The full seq-1 operation space. *)
+
+val metadata_ops : core list
+(** The reduced space used for seq-3 ("seq-3 metadata" workloads): file
+    overwrites/appends, link, unlink, rename. *)
+
+val core_to_string : core -> string
+
+val expand : mode -> core list -> Vfs.Syscall.t list
+(** Satisfy dependencies and produce a runnable workload. *)
+
+val seq1 : mode -> (string * Vfs.Syscall.t list) Seq.t
+(** All seq-1 workloads, with stable names ("seq1-0007"). *)
+
+val seq2 : mode -> (string * Vfs.Syscall.t list) Seq.t
+val seq3_metadata : mode -> (string * Vfs.Syscall.t list) Seq.t
+
+val count : (string * Vfs.Syscall.t list) Seq.t -> int

@@ -1,0 +1,60 @@
+type t = { used : Bytes.t; n_pages : int; mutable used_count : int }
+
+let create ~n_pages = { used = Bytes.make n_pages '\000'; n_pages; used_count = 0 }
+
+let check t page =
+  if page < 0 || page >= t.n_pages then
+    Pmem.Fault.fail "allocator: page %d out of range [0, %d)" page t.n_pages
+
+let is_used t page =
+  check t page;
+  Bytes.get t.used page <> '\000'
+
+let mark_used t page =
+  check t page;
+  if is_used t page then Pmem.Fault.fail "allocator: page %d already in use" page;
+  Bytes.set t.used page '\001';
+  t.used_count <- t.used_count + 1
+
+let alloc t =
+  let rec scan i =
+    if i >= t.n_pages then Error Vfs.Errno.ENOSPC
+    else if Bytes.get t.used i = '\000' then begin
+      mark_used t i;
+      Ok i
+    end
+    else scan (i + 1)
+  in
+  scan 0
+
+let alloc_at_least t ~n =
+  let rec go acc k = if k = 0 then Ok (List.rev acc) else
+      match alloc t with
+      | Ok p -> go (p :: acc) (k - 1)
+      | Error e ->
+        List.iter (fun p -> Bytes.set t.used p '\000') acc;
+        t.used_count <- t.used_count - List.length acc;
+        Error e
+  in
+  go [] n
+
+let alloc_aligned t ~align =
+  let align = max 1 align in
+  let rec scan i =
+    if i >= t.n_pages then alloc t
+    else if Bytes.get t.used i = '\000' then begin
+      mark_used t i;
+      Ok i
+    end
+    else scan (i + align)
+  in
+  scan 0
+
+let free t page =
+  check t page;
+  if not (is_used t page) then Pmem.Fault.fail "allocator: double free of page %d" page;
+  Bytes.set t.used page '\000';
+  t.used_count <- t.used_count - 1
+
+let used_count t = t.used_count
+let free_count t = t.n_pages - t.used_count

@@ -1,0 +1,37 @@
+(** Volatile page allocator.
+
+    PM file systems keep allocator state in DRAM as a performance and write
+    endurance optimization and rebuild it when the file system is mounted
+    (paper Observation 3) — which is why this module has no persistent
+    representation: each file system reconstructs occupancy by scanning its
+    own on-media structures and calls {!mark_used}.
+
+    A double free or a double {!mark_used} raises {!Pmem.Fault.Device_fault},
+    modelling the allocator corruption that recovery bugs (paper bug 11)
+    trip over. *)
+
+type t
+
+val create : n_pages:int -> t
+(** All pages initially free. *)
+
+val mark_used : t -> int -> unit
+(** Claim a specific page during rebuild. Raises if already used. *)
+
+val alloc : t -> (int, Vfs.Errno.t) result
+(** Allocate any free page ([Error ENOSPC] when full). *)
+
+val alloc_at_least : t -> n:int -> (int list, Vfs.Errno.t) result
+(** Allocate [n] pages (not necessarily contiguous); all-or-nothing. *)
+
+val alloc_aligned : t -> align:int -> (int, Vfs.Errno.t) result
+(** Allocate a page whose index is a multiple of [align] (WineFS-style
+    hugepage-aware placement). Falls back to any free page when no aligned
+    page remains. *)
+
+val free : t -> int -> unit
+(** Raises on double free. *)
+
+val is_used : t -> int -> bool
+val used_count : t -> int
+val free_count : t -> int

@@ -1,0 +1,488 @@
+module S = Vfs.Syscall
+
+type bug_type = Logic | PM
+
+type observation =
+  | Obs_logic_not_pm
+  | Obs_in_place
+  | Obs_rebuild
+  | Obs_resilience
+  | Obs_mid_syscall
+  | Obs_short_workloads
+  | Obs_few_writes
+
+type t = {
+  bug_no : int;
+  fs : string;
+  consequence : string;
+  affected : string list;
+  bug_type : bug_type;
+  observations : observation list;
+  ace_findable : bool;
+  driver : unit -> Vfs.Driver.t;
+  trigger : S.t list;
+}
+
+let observation_label = function
+  | Obs_logic_not_pm -> "logic/design issue, not a PM programming error"
+  | Obs_in_place -> "in-place update optimization"
+  | Obs_rebuild -> "rebuilding volatile state during recovery"
+  | Obs_resilience -> "resilience mechanism introduced the bug"
+  | Obs_mid_syscall -> "requires a crash during a system call"
+  | Obs_short_workloads -> "exposed by short workloads"
+  | Obs_few_writes -> "exposed by replaying few writes"
+
+let bug_type_label = function Logic -> "Logic" | PM -> "PM"
+
+(* Driver builders. *)
+
+let nova ?(fortis = false) bugs () =
+  Novafs.driver ~config:(Novafs.config ~fortis ~bugs ()) ()
+
+let pmfs bugs () = Pmfs.driver ~config:(Pmfs.config ~bugs ()) ()
+let winefs ?(strict = true) bugs () = Winefs.driver ~config:(Winefs.config ~strict ~bugs ()) ()
+let splitfs bugs () = Splitfs.driver ~config:(Splitfs.config ~bugs ()) ()
+
+(* Trigger workloads. *)
+
+let w_creat = [ S.Creat { path = "/foo"; fd_var = 0 }; S.Close { fd_var = 0 } ]
+
+let w_many_creats =
+  List.concat_map
+    (fun i -> [ S.Creat { path = Printf.sprintf "/file%02d" i; fd_var = i } ])
+    (List.init 10 Fun.id)
+
+let w_rename =
+  [
+    S.Creat { path = "/foo"; fd_var = 0 };
+    S.Write { fd_var = 0; data = { seed = 2; len = 100 } };
+    S.Close { fd_var = 0 };
+    S.Rename { src = "/foo"; dst = "/bar" };
+  ]
+
+let w_rename_crossdir =
+  [
+    S.Mkdir { path = "/d" };
+    S.Creat { path = "/foo"; fd_var = 0 };
+    S.Write { fd_var = 0; data = { seed = 7; len = 90 } };
+    S.Close { fd_var = 0 };
+    S.Rename { src = "/foo"; dst = "/d/bar" };
+  ]
+
+let w_link =
+  [
+    S.Creat { path = "/foo"; fd_var = 0 };
+    S.Close { fd_var = 0 };
+    S.Link { src = "/foo"; dst = "/bar" };
+  ]
+
+let w_unlink =
+  [
+    S.Creat { path = "/foo"; fd_var = 0 };
+    S.Write { fd_var = 0; data = { seed = 6; len = 300 } };
+    S.Close { fd_var = 0 };
+    S.Unlink { path = "/foo" };
+  ]
+
+let w_truncate =
+  [
+    S.Creat { path = "/foo"; fd_var = 0 };
+    S.Write { fd_var = 0; data = { seed = 5; len = 400 } };
+    S.Truncate { path = "/foo"; size = 100 };
+    S.Close { fd_var = 0 };
+  ]
+
+let w_fallocate_churn =
+  [
+    S.Creat { path = "/old"; fd_var = 0 };
+    S.Write { fd_var = 0; data = { seed = 6; len = 500 } };
+    S.Close { fd_var = 0 };
+    S.Unlink { path = "/old" };
+    S.Creat { path = "/foo"; fd_var = 1 };
+    S.Fallocate { fd_var = 1; off = 0; len = 400; keep_size = false };
+    S.Close { fd_var = 1 };
+  ]
+
+let w_overwrite =
+  [
+    S.Creat { path = "/foo"; fd_var = 0 };
+    S.Write { fd_var = 0; data = { seed = 1; len = 300 } };
+    S.Close { fd_var = 0 };
+    S.Open { path = "/foo"; flags = [ Vfs.Types.O_RDWR ]; fd_var = 1 };
+    S.Pwrite { fd_var = 1; off = 40; data = { seed = 2; len = 100 } };
+    S.Close { fd_var = 1 };
+  ]
+
+let w_metadata_mix =
+  [
+    S.Creat { path = "/a"; fd_var = 0 };
+    S.Close { fd_var = 0 };
+    S.Link { src = "/a"; dst = "/b" };
+    S.Unlink { path = "/b" };
+    S.Rename { src = "/a"; dst = "/c" };
+  ]
+
+let w_multiblock_write =
+  [
+    S.Creat { path = "/foo"; fd_var = 0 };
+    S.Write { fd_var = 0; data = { seed = 7; len = 400 } };
+    S.Close { fd_var = 0 };
+    S.Open { path = "/foo"; flags = [ Vfs.Types.O_RDWR ]; fd_var = 1 };
+    S.Pwrite { fd_var = 1; off = 0; data = { seed = 8; len = 384 } };
+    S.Close { fd_var = 1 };
+  ]
+
+let w_boundary_metadata =
+  List.concat_map
+    (fun i ->
+      [ S.Creat { path = Printf.sprintf "/somefile%02d" i; fd_var = i }; S.Close { fd_var = i } ])
+    (List.init 16 Fun.id)
+
+let all =
+  [
+    {
+      bug_no = 1;
+      fs = "NOVA";
+      consequence = "File system unmountable";
+      affected = [ "creat"; "mkdir" ];
+      bug_type = Logic;
+      observations = [ Obs_logic_not_pm; Obs_short_workloads; Obs_few_writes; Obs_mid_syscall ];
+      ace_findable = true;
+      driver = nova { Novafs.Bugs.none with bug1_dentry_before_inode = true };
+      trigger = w_creat;
+    };
+    {
+      bug_no = 2;
+      fs = "NOVA";
+      consequence = "File is unreadable and undeletable";
+      affected = [ "mkdir"; "creat" ];
+      bug_type = PM;
+      observations = [ Obs_short_workloads ];
+      ace_findable = true;
+      driver = nova { Novafs.Bugs.none with bug2_unflushed_log_init = true };
+      trigger = w_creat;
+    };
+    {
+      bug_no = 3;
+      fs = "NOVA";
+      consequence = "File system unmountable";
+      affected = [ "write"; "pwrite"; "link"; "unlink"; "rename"; "creat" ];
+      bug_type = Logic;
+      observations =
+        [ Obs_logic_not_pm; Obs_rebuild; Obs_mid_syscall; Obs_short_workloads; Obs_few_writes ];
+      ace_findable = true;
+      driver = nova { Novafs.Bugs.none with bug3_tail_before_page_init = true };
+      trigger = w_many_creats;
+    };
+    {
+      bug_no = 4;
+      fs = "NOVA";
+      consequence = "Rename atomicity broken (file disappears)";
+      affected = [ "rename" ];
+      bug_type = Logic;
+      observations =
+        [
+          Obs_logic_not_pm; Obs_in_place; Obs_mid_syscall; Obs_short_workloads; Obs_few_writes;
+        ];
+      ace_findable = true;
+      driver = nova { Novafs.Bugs.none with bug4_inplace_dentry_invalidate = true };
+      trigger = w_rename;
+    };
+    {
+      bug_no = 5;
+      fs = "NOVA";
+      consequence = "Rename atomicity broken (old file still present)";
+      affected = [ "rename" ];
+      bug_type = Logic;
+      observations =
+        [
+          Obs_logic_not_pm; Obs_in_place; Obs_mid_syscall; Obs_short_workloads; Obs_few_writes;
+        ];
+      ace_findable = true;
+      driver = nova { Novafs.Bugs.none with bug5_tail_outside_journal = true };
+      trigger = w_rename_crossdir;
+    };
+    {
+      bug_no = 6;
+      fs = "NOVA";
+      consequence = "Link count incremented before new file appears";
+      affected = [ "link" ];
+      bug_type = Logic;
+      observations =
+        [
+          Obs_logic_not_pm; Obs_in_place; Obs_mid_syscall; Obs_short_workloads; Obs_few_writes;
+        ];
+      ace_findable = true;
+      driver = nova { Novafs.Bugs.none with bug6_inplace_link_count = true };
+      trigger = w_link;
+    };
+    {
+      bug_no = 7;
+      fs = "NOVA";
+      consequence = "File data lost";
+      affected = [ "truncate" ];
+      bug_type = Logic;
+      observations = [ Obs_logic_not_pm; Obs_in_place; Obs_rebuild; Obs_mid_syscall ];
+      ace_findable = true;
+      driver = nova { Novafs.Bugs.none with bug7_eager_truncate_zero = true };
+      trigger = w_truncate;
+    };
+    {
+      bug_no = 8;
+      fs = "NOVA";
+      consequence = "File data lost";
+      affected = [ "fallocate" ];
+      bug_type = Logic;
+      observations = [ Obs_logic_not_pm; Obs_mid_syscall ];
+      ace_findable = false;
+      (* needs allocator churn ACE's patterns do not create *)
+      driver = nova { Novafs.Bugs.none with bug8_fallocate_publish_first = true };
+      trigger = w_fallocate_churn;
+    };
+    {
+      bug_no = 9;
+      fs = "NOVA-Fortis";
+      consequence = "Unreadable directory or file data loss";
+      affected = [ "unlink"; "rmdir"; "truncate" ];
+      bug_type = PM;
+      observations = [ Obs_resilience; Obs_mid_syscall; Obs_short_workloads; Obs_few_writes ];
+      ace_findable = true;
+      driver = nova ~fortis:true { Novafs.Bugs.none with bug9_nonatomic_entry_csum = true };
+      trigger = w_unlink;
+    };
+    {
+      bug_no = 10;
+      fs = "NOVA-Fortis";
+      consequence = "File is undeletable";
+      affected = [ "link"; "unlink"; "rename"; "mkdir" ];
+      bug_type = Logic;
+      observations =
+        [
+          Obs_logic_not_pm; Obs_resilience; Obs_mid_syscall; Obs_short_workloads; Obs_few_writes;
+        ];
+      ace_findable = true;
+      driver = nova ~fortis:true { Novafs.Bugs.none with bug10_replica_not_updated = true };
+      trigger = w_link;
+    };
+    {
+      bug_no = 11;
+      fs = "NOVA-Fortis";
+      consequence = "FS attempts to deallocate free blocks";
+      affected = [ "truncate" ];
+      bug_type = Logic;
+      observations =
+        [
+          Obs_logic_not_pm; Obs_rebuild; Obs_resilience; Obs_mid_syscall; Obs_short_workloads;
+          Obs_few_writes;
+        ];
+      ace_findable = true;
+      driver = nova ~fortis:true { Novafs.Bugs.none with bug11_replay_truncate_twice = true };
+      trigger = w_truncate;
+    };
+    {
+      bug_no = 12;
+      fs = "NOVA-Fortis";
+      consequence = "File is unreadable";
+      affected = [ "truncate" ];
+      bug_type = Logic;
+      observations =
+        [
+          Obs_logic_not_pm; Obs_resilience; Obs_mid_syscall; Obs_short_workloads; Obs_few_writes;
+        ];
+      ace_findable = true;
+      driver = nova ~fortis:true { Novafs.Bugs.none with bug12_csum_after_commit = true };
+      trigger = w_truncate;
+    };
+    {
+      bug_no = 13;
+      fs = "PMFS";
+      consequence = "File system unmountable";
+      affected = [ "truncate"; "unlink"; "rmdir"; "rename" ];
+      bug_type = Logic;
+      observations =
+        [
+          Obs_logic_not_pm; Obs_rebuild; Obs_mid_syscall; Obs_short_workloads; Obs_few_writes;
+        ];
+      ace_findable = true;
+      driver = pmfs { Pmfs.Bugs.none with bug13_truncate_replay = true };
+      trigger = w_truncate;
+    };
+    {
+      bug_no = 14;
+      fs = "PMFS";
+      consequence = "Write is not synchronous";
+      affected = [ "write"; "pwrite" ];
+      bug_type = PM;
+      observations = [ Obs_in_place; Obs_short_workloads ];
+      ace_findable = true;
+      driver = pmfs { Pmfs.Bugs.none with bug14_async_write = true };
+      trigger = w_overwrite;
+    };
+    {
+      bug_no = 15;
+      fs = "WineFS";
+      consequence = "Write is not synchronous";
+      affected = [ "write"; "pwrite" ];
+      bug_type = PM;
+      observations = [ Obs_in_place; Obs_short_workloads ];
+      ace_findable = true;
+      driver =
+        (fun () ->
+          Winefs.driver
+            ~config:
+              (Winefs.config ~strict:false
+                 ~bugs:{ Winefs.Bugs.none with bug14_async_write = true }
+                 ())
+            ());
+      trigger = w_overwrite;
+    };
+    {
+      bug_no = 16;
+      fs = "PMFS";
+      consequence = "Out-of-bounds memory access";
+      affected = [ "all" ];
+      bug_type = Logic;
+      observations = [ Obs_logic_not_pm; Obs_rebuild; Obs_short_workloads ];
+      ace_findable = true;
+      driver = pmfs { Pmfs.Bugs.none with bug16_journal_oob = true };
+      trigger = w_metadata_mix;
+    };
+    {
+      bug_no = 17;
+      fs = "PMFS";
+      consequence = "File data lost";
+      affected = [ "write"; "pwrite" ];
+      bug_type = PM;
+      observations = [ Obs_short_workloads ];
+      ace_findable = true;
+      driver = pmfs { Pmfs.Bugs.none with bug17_unflushed_tail = true };
+      trigger = w_overwrite;
+    };
+    {
+      bug_no = 18;
+      fs = "WineFS";
+      consequence = "File data lost";
+      affected = [ "write"; "pwrite" ];
+      bug_type = PM;
+      observations = [ Obs_short_workloads ];
+      ace_findable = true;
+      driver =
+        (fun () ->
+          Winefs.driver
+            ~config:
+              (Winefs.config ~strict:false
+                 ~bugs:{ Winefs.Bugs.none with bug17_unflushed_tail = true }
+                 ())
+            ());
+      trigger = w_overwrite;
+    };
+    {
+      bug_no = 19;
+      fs = "WineFS";
+      consequence = "File is unreadable and undeletable";
+      affected = [ "all" ];
+      bug_type = Logic;
+      observations =
+        [
+          Obs_logic_not_pm; Obs_rebuild; Obs_mid_syscall; Obs_short_workloads; Obs_few_writes;
+        ];
+      ace_findable = true;
+      driver = winefs { Winefs.Bugs.none with bug19_journal_index = true };
+      trigger = w_metadata_mix;
+    };
+    {
+      bug_no = 20;
+      fs = "WineFS";
+      consequence = "Data write is not atomic in strict mode";
+      affected = [ "write"; "pwrite" ];
+      bug_type = Logic;
+      observations = [ Obs_logic_not_pm; Obs_mid_syscall; Obs_short_workloads; Obs_few_writes ];
+      ace_findable = true;
+      driver = winefs { Winefs.Bugs.none with bug20_torn_strict_write = true };
+      trigger = w_multiblock_write;
+    };
+    {
+      bug_no = 21;
+      fs = "SplitFS";
+      consequence = "Operation is not synchronous";
+      affected = [ "all metadata" ];
+      bug_type = Logic;
+      observations = [ Obs_logic_not_pm; Obs_rebuild; Obs_short_workloads ];
+      ace_findable = true;
+      driver = splitfs { Splitfs.Bugs.none with bug21_unfenced_metadata_log = true };
+      trigger = w_metadata_mix;
+    };
+    {
+      bug_no = 22;
+      fs = "SplitFS";
+      consequence = "File data lost";
+      affected = [ "write"; "pwrite" ];
+      bug_type = Logic;
+      observations = [ Obs_logic_not_pm; Obs_short_workloads ];
+      ace_findable = true;
+      driver = splitfs { Splitfs.Bugs.none with bug22_unfenced_staging_data = true };
+      trigger = w_overwrite;
+    };
+    {
+      bug_no = 23;
+      fs = "SplitFS";
+      consequence = "File data lost";
+      affected = [ "write"; "pwrite" ];
+      bug_type = Logic;
+      observations = [ Obs_logic_not_pm; Obs_short_workloads ];
+      ace_findable = true;
+      driver = splitfs { Splitfs.Bugs.none with bug23_entry_before_data = true };
+      trigger = w_overwrite;
+    };
+    {
+      bug_no = 24;
+      fs = "SplitFS";
+      consequence = "Operation is not synchronous";
+      affected = [ "all" ];
+      bug_type = Logic;
+      observations = [ Obs_logic_not_pm; Obs_rebuild; Obs_short_workloads ];
+      ace_findable = false;
+      (* depends on log offsets ACE's fixed patterns rarely reach *)
+      driver = splitfs { Splitfs.Bugs.none with bug24_boundary_entry_unfenced = true };
+      trigger = w_boundary_metadata;
+    };
+    {
+      bug_no = 25;
+      fs = "SplitFS";
+      consequence = "Rename atomicity broken (old file still present)";
+      affected = [ "rename" ];
+      bug_type = Logic;
+      observations = [ Obs_logic_not_pm; Obs_rebuild; Obs_short_workloads ];
+      ace_findable = true;
+      driver = splitfs { Splitfs.Bugs.none with bug25_rename_two_entries = true };
+      trigger = w_rename;
+    };
+  ]
+
+let unique_bugs =
+  (* The paper counts 14&15 and 17&18 as single bugs found in two file
+     systems each (its Table 1 has shared rows for them). *)
+  let canonical n = match n with 15 -> 14 | 18 -> 17 | n -> n in
+  List.length (List.sort_uniq compare (List.map (fun b -> canonical b.bug_no) all))
+
+let clean_drivers =
+  [
+    ("nova", fun () -> Novafs.driver ());
+    ("nova-fortis", fun () -> Novafs.driver ~config:(Novafs.config ~fortis:true ()) ());
+    ("pmfs", fun () -> Pmfs.driver ());
+    ("winefs", fun () -> Winefs.driver ());
+    ("splitfs", fun () -> Splitfs.driver ());
+    ("ext4-dax", fun () -> Ext4dax.driver ());
+    ("xfs-dax", fun () -> Ext4dax.driver ~config:(Ext4dax.config ~xfs:true ()) ());
+  ]
+
+let buggy_driver name =
+  match name with
+  | "nova" -> Some (fun () -> nova Novafs.Bugs.all ())
+  | "nova-fortis" -> Some (fun () -> nova ~fortis:true Novafs.Bugs.all ())
+  | "pmfs" -> Some (fun () -> pmfs Pmfs.Bugs.all ())
+  | "winefs" -> Some (fun () -> winefs Winefs.Bugs.all ())
+  | "splitfs" -> Some (fun () -> splitfs Splitfs.Bugs.all ())
+  | "ext4-dax" -> Some (fun () -> Ext4dax.driver ())
+  | "xfs-dax" -> Some (fun () -> Ext4dax.driver ~config:(Ext4dax.config ~xfs:true ()) ())
+  | _ -> None

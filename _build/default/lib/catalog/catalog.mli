@@ -1,0 +1,48 @@
+(** The paper's bug corpus as data: one entry per bug instance of Table 1,
+    with the metadata needed to regenerate Table 1, Table 2 and Figure 3.
+
+    A {e bug instance} is a (bug number, file system) pair: bugs 14/15 and
+    17/18 each appear in both PMFS and WineFS, giving 25 instances of 23
+    unique bugs, exactly as the paper counts them. *)
+
+type bug_type = Logic | PM
+
+type observation =
+  | Obs_logic_not_pm  (** Most bugs are logic/design issues, not PM errors. *)
+  | Obs_in_place  (** In-place update optimizations cause bugs. *)
+  | Obs_rebuild  (** Rebuilding volatile state during recovery is error-prone. *)
+  | Obs_resilience  (** Resilience mechanisms introduce new bugs. *)
+  | Obs_mid_syscall  (** Only exposed by crashes during system calls. *)
+  | Obs_short_workloads  (** Exposed by short (ACE-style) workloads. *)
+  | Obs_few_writes  (** Exposed by replaying few writes onto persistent state. *)
+
+type t = {
+  bug_no : int;  (** Paper Table 1 number. *)
+  fs : string;  (** Display name ("NOVA", "NOVA-Fortis", ...). *)
+  consequence : string;
+  affected : string list;  (** Affected system calls, per Table 1. *)
+  bug_type : bug_type;
+  observations : observation list;  (** Table 2 membership. *)
+  ace_findable : bool;  (** Whether the paper's ACE suites expose it. *)
+  driver : unit -> Vfs.Driver.t;  (** The file system with only this bug armed. *)
+  trigger : Vfs.Syscall.t list;
+      (** A short workload known to expose the bug (used by tests and by the
+          fuzzer-vs-ACE comparison as ground truth). *)
+}
+
+val all : t list
+(** The 25 bug instances in Table 1 order. *)
+
+val unique_bugs : int
+(** 23: instances deduplicated by bug number. *)
+
+val observation_label : observation -> string
+val bug_type_label : bug_type -> string
+
+val clean_drivers : (string * (unit -> Vfs.Driver.t)) list
+(** Every modelled file system with all bugs off (including ext4-DAX and
+    XFS-DAX, in which the paper found no bugs). *)
+
+val buggy_driver : string -> (unit -> Vfs.Driver.t) option
+(** A driver for the named file system with {e all} of its catalogued bugs
+    armed at once (the paper's testing scenario). *)

@@ -1,0 +1,1 @@
+lib/core/campaign.ml: Harness Hashtbl List Report Seq Unix

@@ -1,0 +1,1 @@
+lib/core/campaign.mli: Harness Report Seq Vfs

@@ -1,0 +1,1 @@
+lib/core/checker.ml: List Oracle Printf Report String Vfs

@@ -1,0 +1,1 @@
+lib/core/harness.ml: Array Checker Coalesce Hashtbl List Oracle Persist Pmem Printf Report String Vfs

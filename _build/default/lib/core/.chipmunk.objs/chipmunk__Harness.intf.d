@@ -1,0 +1,1 @@
+lib/core/harness.mli: Persist Report Vfs

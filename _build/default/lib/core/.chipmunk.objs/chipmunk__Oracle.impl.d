@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Array Hashtbl List Memfs Vfs

@@ -1,0 +1,1 @@
+lib/core/reproduce.ml: Checker Coalesce Hashtbl List Oracle Persist Pmem Report Vfs

@@ -1,0 +1,1 @@
+lib/core/reproduce.mli: Pmem Report Vfs

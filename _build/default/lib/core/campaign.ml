@@ -1,0 +1,74 @@
+type event = {
+  fingerprint : string;
+  report : Report.t;
+  workload_name : string;
+  workload_index : int;
+  elapsed : float;
+  states_so_far : int;
+}
+
+type result = {
+  events : event list;
+  workloads_run : int;
+  crash_states : int;
+  crash_points : int;
+  elapsed : float;
+  in_flight_sizes : int list;
+  max_in_flight : int;
+}
+
+exception Done
+
+let run ?opts ?stop_after_findings ?max_workloads ?max_seconds driver suite =
+  let t0 = Unix.gettimeofday () in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let events = ref [] in
+  let workloads = ref 0 in
+  let states = ref 0 in
+  let points = ref 0 in
+  let sizes = ref [] in
+  let max_if = ref 0 in
+  (try
+     Seq.iteri
+       (fun i (name, workload) ->
+         (match max_workloads with Some m when i >= m -> raise Done | _ -> ());
+         (match max_seconds with
+         | Some s when Unix.gettimeofday () -. t0 > s -> raise Done
+         | _ -> ());
+         let r = Harness.test_workload ?opts driver workload in
+         incr workloads;
+         states := !states + r.Harness.stats.Harness.crash_states;
+         points := !points + r.Harness.stats.Harness.crash_points;
+         sizes := r.Harness.stats.Harness.in_flight_sizes @ !sizes;
+         max_if := max !max_if r.Harness.stats.Harness.max_in_flight;
+         List.iter
+           (fun report ->
+             let fp = Report.fingerprint report in
+             if not (Hashtbl.mem seen fp) then begin
+               Hashtbl.replace seen fp ();
+               events :=
+                 {
+                   fingerprint = fp;
+                   report;
+                   workload_name = name;
+                   workload_index = i;
+                   elapsed = Unix.gettimeofday () -. t0;
+                   states_so_far = !states;
+                 }
+                 :: !events;
+               match stop_after_findings with
+               | Some n when Hashtbl.length seen >= n -> raise Done
+               | _ -> ()
+             end)
+           r.Harness.reports)
+       suite
+   with Done -> ());
+  {
+    events = List.rev !events;
+    workloads_run = !workloads;
+    crash_states = !states;
+    crash_points = !points;
+    elapsed = Unix.gettimeofday () -. t0;
+    in_flight_sizes = !sizes;
+    max_in_flight = !max_if;
+  }

@@ -1,0 +1,34 @@
+(** Campaign runner: drive the harness over a suite of workloads and record
+    when each unique bug surfaced — the measurement behind the paper's
+    Figure 3 (cumulative time to find bugs) and the section 4.3 suite
+    statistics. *)
+
+type event = {
+  fingerprint : string;
+  report : Report.t;
+  workload_name : string;
+  workload_index : int;  (** Position of the workload in the suite. *)
+  elapsed : float;  (** Seconds of CPU-equivalent wall time since start. *)
+  states_so_far : int;  (** Crash states checked before the discovery. *)
+}
+
+type result = {
+  events : event list;  (** Unique findings, in discovery order. *)
+  workloads_run : int;
+  crash_states : int;
+  crash_points : int;
+  elapsed : float;
+  in_flight_sizes : int list;  (** One sample per crash point. *)
+  max_in_flight : int;
+}
+
+val run :
+  ?opts:Harness.opts ->
+  ?stop_after_findings:int ->
+  ?max_workloads:int ->
+  ?max_seconds:float ->
+  Vfs.Driver.t ->
+  (string * Vfs.Syscall.t list) Seq.t ->
+  result
+(** Run workloads in suite order, deduplicating findings by fingerprint
+    across the whole campaign. *)

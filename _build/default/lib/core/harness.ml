@@ -1,0 +1,317 @@
+module Pm = Persist.Pm
+module Trace = Persist.Trace
+module Image = Pmem.Image
+
+type opts = {
+  cap : int option;
+  coalesce : bool;
+  data_threshold : int;
+  check_usability : bool;
+  max_states_per_point : int;
+  stop_on_first : bool;
+  granularity : Pm.granularity;
+  read_set_heuristic : bool;
+}
+
+let default_opts =
+  {
+    cap = None;
+    coalesce = true;
+    data_threshold = 64;
+    check_usability = true;
+    max_states_per_point = 512;
+    stop_on_first = false;
+    granularity = Pm.Function_level;
+    read_set_heuristic = false;
+  }
+
+type stats = {
+  mutable crash_points : int;
+  mutable crash_states : int;
+  mutable failed_mounts : int;
+  mutable max_in_flight : int;
+  mutable fences : int;
+  mutable in_flight_sizes : int list;
+}
+
+type result = {
+  reports : Report.t list;
+  stats : stats;
+  trace : Persist.Trace.t;
+  outcomes : Vfs.Workload.outcome list;
+}
+
+exception Stop
+
+(* Enumerate index subsets of {0..n-1} in increasing size order, invoking
+   [yield] on each; sizes above [cap] are skipped, and enumeration stops
+   after [limit] subsets. The empty subset (the fully-fenced prefix state)
+   is always yielded first. *)
+let enumerate_subsets ~n ~cap ~limit yield =
+  let count = ref 0 in
+  let budget () = !count < limit in
+  let emit s =
+    incr count;
+    yield s
+  in
+  let max_size = match cap with None -> n | Some c -> min c n in
+  (try
+     emit [];
+     for size = 1 to max_size do
+       (* Combinations of [size] indices, lexicographic. *)
+       let rec combo acc start remaining =
+         if not (budget ()) then raise Exit
+         else if remaining = 0 then emit (List.rev acc)
+         else
+           for i = start to n - remaining do
+             combo (i :: acc) (i + 1) (remaining - 1)
+           done
+       in
+       combo [] 0 size
+     done
+   with Exit -> ());
+  !count
+
+(* The post-recovery usability probe: create a file in every directory,
+   write to it, remove it, then delete every file and directory. *)
+let usability_probe (h : Vfs.Handle.t) tree =
+  let fail = ref None in
+  let note what path e =
+    if !fail = None then
+      fail := Some (Printf.sprintf "%s %s: %s" what path (Vfs.Errno.to_string e))
+  in
+  let dirs =
+    List.filter_map
+      (fun n ->
+        if n.Vfs.Walker.kind = Some Vfs.Types.Dir && n.Vfs.Walker.error = None then
+          Some n.Vfs.Walker.path
+        else None)
+      tree
+  in
+  List.iter
+    (fun dir ->
+      let probe = Vfs.Path.concat dir ".chkprobe" in
+      match h.Vfs.Handle.creat ~path:probe with
+      | Error e -> note "creat probe in" dir e
+      | Ok fd -> (
+        (match h.Vfs.Handle.write ~fd ~data:"probe" with
+        | Error e -> note "write probe in" dir e
+        | Ok _ -> ());
+        (match h.Vfs.Handle.close ~fd with Error e -> note "close probe in" dir e | Ok () -> ());
+        match h.Vfs.Handle.unlink ~path:probe with
+        | Error e -> note "unlink probe in" dir e
+        | Ok () -> ()))
+    dirs;
+  (* Delete everything: files first, then directories bottom-up. *)
+  List.iter
+    (fun n ->
+      if n.Vfs.Walker.kind = Some Vfs.Types.Reg then
+        match h.Vfs.Handle.unlink ~path:n.Vfs.Walker.path with
+        | Ok () -> ()
+        | Error Vfs.Errno.ENOENT -> () (* removed via an earlier hard link *)
+        | Error e -> note "unlink" n.Vfs.Walker.path e)
+    tree;
+  let dirs_deep_first =
+    List.sort (fun a b -> compare (String.length b) (String.length a)) dirs
+  in
+  List.iter
+    (fun dir ->
+      if dir <> "/" then
+        match h.Vfs.Handle.rmdir ~path:dir with
+        | Ok () -> ()
+        | Error e -> note "rmdir" dir e)
+    dirs_deep_first;
+  !fail
+
+let test_workload ?(opts = default_opts) (driver : Vfs.Driver.t) calls =
+  (* Phase 1: execute the workload on an instrumented fresh file system. *)
+  let img = Image.create ~size:driver.Vfs.Driver.device_size in
+  let pm = Pm.create img in
+  let handle = driver.Vfs.Driver.mkfs pm in
+  let base = Image.snapshot img in
+  let trace = Trace.create () in
+  Pm.set_granularity pm opts.granularity;
+  Pm.trace_to pm trace;
+  let before idx call =
+    Pm.mark_syscall_begin pm ~idx ~descr:(Vfs.Syscall.to_string call)
+  in
+  let after idx _call ret = Pm.mark_syscall_end pm ~idx ~ret in
+  let outcomes = Vfs.Workload.run ~before ~after handle calls in
+  Pm.set_logger pm None;
+  (* Phase 2: the oracle. *)
+  let oracle = Oracle.run calls in
+  (* Phase 3: replay. [base] becomes the replay device; it always holds the
+     fully-fenced prefix of the trace. *)
+  let replay = base in
+  let stats =
+    {
+      crash_points = 0;
+      crash_states = 0;
+      failed_mounts = 0;
+      max_in_flight = 0;
+      fences = 0;
+      in_flight_sizes = [];
+    }
+  in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let reports = ref [] in
+  let vec = ref [] (* newest first *) in
+  let cur_syscall = ref None in
+  let last_done = ref None in
+  let fence_no = ref 0 in
+  let workload_arr = Array.of_list calls in
+  let fsync_boundary idx =
+    idx < Array.length workload_arr && Vfs.Syscall.is_fsync_family workload_arr.(idx)
+  in
+  let emit ~phase ~subset_seqs ~n kinds =
+    List.iter
+      (fun kind ->
+        let crash_point =
+          {
+            Report.fence_no = !fence_no;
+            during_syscall = (match phase with Checker.During i -> Some i | _ -> None);
+            after_syscall =
+              (match phase with
+              | Checker.After i -> Some i
+              | Checker.During _ | Checker.Initial -> !last_done);
+            subset = subset_seqs;
+            in_flight = n;
+          }
+        in
+        let r = { Report.fs = driver.Vfs.Driver.name; workload = calls; crash_point; kind } in
+        let fp = Report.fingerprint r in
+        if not (Hashtbl.mem seen fp) then begin
+          Hashtbl.replace seen fp ();
+          reports := r :: !reports;
+          if opts.stop_on_first then raise Stop
+        end)
+      kinds
+  in
+  let check_state ~phase units_arr subset_idxs ~n =
+    stats.crash_states <- stats.crash_states + 1;
+    let undo = Persist.Undo.create replay in
+    let subset_units = List.map (fun i -> units_arr.(i)) subset_idxs in
+    List.iter
+      (fun (u : Coalesce.t) ->
+        List.iter (fun (addr, data) -> Persist.Undo.write_string undo ~off:addr data) u.parts)
+      subset_units;
+    let pm2 = Pm.create replay in
+    Pm.set_undo pm2 (Some undo);
+    let kinds =
+      match driver.Vfs.Driver.mount pm2 with
+      | exception e ->
+        stats.failed_mounts <- stats.failed_mounts + 1;
+        [ Report.Recovery_fault (Pmem.Fault.to_string e) ]
+      | Error m ->
+        stats.failed_mounts <- stats.failed_mounts + 1;
+        [ Report.Unmountable m ]
+      | Ok h -> (
+        match
+          let tree = Vfs.Walker.capture h in
+          let ks =
+            Checker.check ~atomic_data:driver.Vfs.Driver.atomic_data
+              ~consistency:driver.Vfs.Driver.consistency ~workload:calls ~oracle ~phase ~tree
+          in
+          if ks = [] && opts.check_usability then
+            match usability_probe h tree with
+            | Some m -> [ Report.Unusable m ]
+            | None -> []
+          else ks
+        with
+        | ks -> ks
+        | exception e -> [ Report.Recovery_fault (Pmem.Fault.to_string e) ])
+    in
+    Pm.set_undo pm2 None;
+    Persist.Undo.rollback undo;
+    let subset_seqs = List.map (fun (u : Coalesce.t) -> u.Coalesce.seq) subset_units in
+    emit ~phase ~subset_seqs ~n kinds
+
+  in
+  (* The Vinter-style read-set heuristic (paper section 6.2): probe-mount
+     the fully-fenced prefix state with a read recorder armed, then keep
+     only the in-flight writes whose target addresses recovery actually
+     inspects. Writes recovery never reads cannot change its outcome, so
+     subsets are enumerated over the hot units only. *)
+  let recovery_read_set () =
+    let undo = Persist.Undo.create replay in
+    let pm2 = Pm.create replay in
+    Pm.set_undo pm2 (Some undo);
+    let reads = ref [] in
+    Pm.set_read_hook pm2 (Some (fun off len -> reads := (off, len) :: !reads));
+    (try
+       match driver.Vfs.Driver.mount pm2 with
+       | exception _ -> ()
+       | Error _ -> ()
+       | Ok _ -> ()
+     with _ -> ());
+    Pm.set_read_hook pm2 None;
+    Pm.set_undo pm2 None;
+    Persist.Undo.rollback undo;
+    !reads
+  in
+  let overlaps_reads reads (u : Coalesce.t) =
+    List.exists
+      (fun (addr, data) ->
+        let e = addr + String.length data in
+        List.exists (fun (roff, rlen) -> addr < roff + rlen && roff < e) reads)
+      u.Coalesce.parts
+  in
+  let check_point ~phase =
+    let weak = driver.Vfs.Driver.consistency = Vfs.Driver.Weak in
+    let should_check =
+      if not weak then true
+      else match phase with Checker.After i -> fsync_boundary i | _ -> false
+    in
+    if should_check then begin
+      stats.crash_points <- stats.crash_points + 1;
+      let units_arr = Array.of_list (List.rev !vec) in
+      let units_arr =
+        if opts.read_set_heuristic && Array.length units_arr > 0 then begin
+          let reads = recovery_read_set () in
+          let hot = Array.of_list (List.filter (overlaps_reads reads) (Array.to_list units_arr)) in
+          (* Keep at least the full vector semantics when nothing is hot:
+             the empty subset is still checked. *)
+          hot
+        end
+        else units_arr
+      in
+      let n = Array.length units_arr in
+      stats.max_in_flight <- max stats.max_in_flight n;
+      stats.in_flight_sizes <- n :: stats.in_flight_sizes;
+      ignore
+        (enumerate_subsets ~n ~cap:opts.cap ~limit:opts.max_states_per_point (fun idxs ->
+             check_state ~phase units_arr idxs ~n))
+    end
+  in
+  let apply_all () =
+    List.iter
+      (fun (u : Coalesce.t) ->
+        List.iter (fun (addr, data) -> Image.write_string replay ~off:addr data) u.Coalesce.parts)
+      (List.rev !vec);
+    vec := []
+  in
+  let phase_now () =
+    match !cur_syscall with
+    | Some i -> Checker.During i
+    | None -> ( match !last_done with Some i -> Checker.After i | None -> Checker.Initial)
+  in
+  (try
+     Trace.iter trace (fun op ->
+         match op with
+         | Trace.Store s ->
+           vec :=
+             Coalesce.add ~coalesce:opts.coalesce ~data_threshold:opts.data_threshold !vec s
+               ~syscall:!cur_syscall
+         | Trace.Fence ->
+           stats.fences <- stats.fences + 1;
+           incr fence_no;
+           check_point ~phase:(phase_now ());
+           apply_all ()
+         | Trace.Syscall_begin { idx; _ } -> cur_syscall := Some idx
+         | Trace.Syscall_end { idx; _ } ->
+           cur_syscall := None;
+           incr fence_no;
+           check_point ~phase:(Checker.After idx);
+           last_done := Some idx)
+   with Stop -> ());
+  { reports = List.rev !reports; stats; trace; outcomes }

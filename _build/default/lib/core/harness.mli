@@ -1,0 +1,54 @@
+(** The record-and-replay pipeline (paper Figure 2): run a workload on an
+    instrumented file system, log its PM writes, construct crash states by
+    replaying subsets of in-flight writes at every crash point, mount the
+    file system on each crash state and check it for consistency.
+
+    Crash points are placed at every store fence ({e during} system calls —
+    the paper's key departure from disk-era tools) and at every system-call
+    boundary (checking synchrony). For weak (fsync-based) file systems,
+    checks run only at fsync/fdatasync/sync boundaries. *)
+
+type opts = {
+  cap : int option;
+      (** Maximum number of in-flight writes replayed per crash state
+          ([None] = exhaustive). The paper finds a cap of 2 exposes every
+          bug in its corpus (Observation 7). *)
+  coalesce : bool;  (** Fuse logically-related stores (section 3.2). *)
+  data_threshold : int;  (** Minimum bytes for the bulk-data heuristic. *)
+  check_usability : bool;
+      (** After the oracle checks, probe the recovered file system: create a
+          file in every directory, then delete everything. *)
+  max_states_per_point : int;  (** Safety valve on subset explosion. *)
+  stop_on_first : bool;  (** Stop at the first unique report (campaigns). *)
+  granularity : Persist.Pm.granularity;
+      (** Function-level (Chipmunk, the default) or instruction-level
+          (Yat/Vinter-style) write interception — the ablation behind the
+          paper's tractability argument in section 3.2. *)
+  read_set_heuristic : bool;
+      (** Vinter's state-space reduction, which the paper notes Chipmunk
+          could adopt by recording PM read functions (section 6.2): at each
+          crash point, probe-mount the prefix state while recording PM
+          loads, and enumerate subsets only over the in-flight writes that
+          recovery actually reads. Off by default. *)
+}
+
+val default_opts : opts
+
+type stats = {
+  mutable crash_points : int;
+  mutable crash_states : int;
+  mutable failed_mounts : int;
+  mutable max_in_flight : int;  (** Largest coalesced in-flight vector seen. *)
+  mutable fences : int;
+  mutable in_flight_sizes : int list;  (** One sample per crash point. *)
+}
+
+type result = {
+  reports : Report.t list;  (** Deduplicated by fingerprint, oldest first. *)
+  stats : stats;
+  trace : Persist.Trace.t;
+  outcomes : Vfs.Workload.outcome list;
+}
+
+val test_workload : ?opts:opts -> Vfs.Driver.t -> Vfs.Syscall.t list -> result
+(** Run the full pipeline for one workload on one file system. *)

@@ -1,0 +1,100 @@
+type crash_point = {
+  fence_no : int;
+  during_syscall : int option;
+  after_syscall : int option;
+  subset : int list;
+  in_flight : int;
+}
+
+type kind =
+  | Unmountable of string
+  | Recovery_fault of string
+  | Atomicity of { syscall : string; diffs : string list }
+  | Synchrony of { syscall : string; diffs : string list }
+  | Torn_data of { path : string; detail : string }
+  | Inaccessible of { path : string; error : string }
+  | Unusable of string
+
+type t = {
+  fs : string;
+  workload : Vfs.Syscall.t list;
+  crash_point : crash_point;
+  kind : kind;
+}
+
+let kind_label = function
+  | Unmountable _ -> "unmountable"
+  | Recovery_fault _ -> "recovery-fault"
+  | Atomicity _ -> "atomicity"
+  | Synchrony _ -> "synchrony"
+  | Torn_data _ -> "torn-data"
+  | Inaccessible _ -> "inaccessible"
+  | Unusable _ -> "unusable"
+
+(* Strip volatile detail (numbers that vary per crash state) so that the
+   same root cause folds to the same fingerprint. *)
+let normalize s =
+  String.map (fun c -> if c >= '0' && c <= '9' then '#' else c) s
+
+let syscall_name = function
+  | None -> "-"
+  | Some s -> (
+    match String.index_opt s ' ' with None -> s | Some i -> String.sub s 0 i)
+
+let first_word_of_call workload idx =
+  match List.nth_opt workload idx with
+  | None -> "-"
+  | Some c -> syscall_name (Some (Vfs.Syscall.to_string c))
+
+let fingerprint t =
+  let ctx =
+    match (t.crash_point.during_syscall, t.crash_point.after_syscall) with
+    | Some i, _ -> "during:" ^ first_word_of_call t.workload i
+    | None, Some i -> "after:" ^ first_word_of_call t.workload i
+    | None, None -> "init"
+  in
+  let evidence =
+    match t.kind with
+    | Unmountable m | Recovery_fault m | Unusable m -> normalize m
+    | Atomicity { diffs; _ } | Synchrony { diffs; _ } ->
+      normalize (String.concat "|" (List.filteri (fun i _ -> i < 2) diffs))
+    | Torn_data { detail; _ } -> normalize detail
+    | Inaccessible { error; _ } -> normalize error
+  in
+  Printf.sprintf "%s/%s/%s/%s" t.fs (kind_label t.kind) ctx evidence
+
+let summary t =
+  let where =
+    match (t.crash_point.during_syscall, t.crash_point.after_syscall) with
+    | Some i, _ -> Printf.sprintf "during syscall %d (%s)" i (first_word_of_call t.workload i)
+    | None, Some i -> Printf.sprintf "after syscall %d (%s)" i (first_word_of_call t.workload i)
+    | None, None -> "before any syscall"
+  in
+  let what =
+    match t.kind with
+    | Unmountable m -> "file system unmountable: " ^ m
+    | Recovery_fault m -> "recovery crashed: " ^ m
+    | Atomicity { syscall; _ } -> "atomicity of " ^ syscall_name (Some syscall) ^ " broken"
+    | Synchrony { syscall; _ } -> syscall_name (Some syscall) ^ " not synchronous"
+    | Torn_data { path; _ } -> "torn/garbage data in " ^ path
+    | Inaccessible { path; error } -> path ^ " inaccessible (" ^ error ^ ")"
+    | Unusable m -> "file system unusable after recovery: " ^ m
+  in
+  Printf.sprintf "[%s] %s, crash %s" t.fs what where
+
+let pp ppf t =
+  Format.fprintf ppf "=== BUG REPORT (%s) ===@." t.fs;
+  Format.fprintf ppf "%s@." (summary t);
+  Format.fprintf ppf "crash point: fence %d, in-flight %d, replayed subset [%s]@."
+    t.crash_point.fence_no t.crash_point.in_flight
+    (String.concat "; " (List.map string_of_int t.crash_point.subset));
+  Format.fprintf ppf "workload:@.";
+  List.iteri (fun i c -> Format.fprintf ppf "  %2d: %s@." i (Vfs.Syscall.to_string c)) t.workload;
+  (match t.kind with
+  | Atomicity { diffs; _ } | Synchrony { diffs; _ } ->
+    Format.fprintf ppf "evidence:@.";
+    List.iter (fun d -> Format.fprintf ppf "  %s@." d) diffs
+  | Unmountable m | Recovery_fault m | Unusable m -> Format.fprintf ppf "evidence: %s@." m
+  | Torn_data { path; detail } -> Format.fprintf ppf "evidence: %s: %s@." path detail
+  | Inaccessible { path; error } -> Format.fprintf ppf "evidence: %s: %s@." path error);
+  Format.fprintf ppf "fingerprint: %s@." (fingerprint t)

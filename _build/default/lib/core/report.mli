@@ -1,0 +1,45 @@
+(** Bug reports produced by the consistency checker.
+
+    A report carries enough context to reproduce the bug (paper Figure 1):
+    the workload, the crash point (which fence / syscall boundary), and the
+    subset of in-flight writes that was replayed to build the failing crash
+    state. [fingerprint] gives a stable identity used to deduplicate the
+    many crash states that trigger the same underlying bug. *)
+
+type crash_point = {
+  fence_no : int;  (** Index of the fence (or syscall boundary) in the trace. *)
+  during_syscall : int option;  (** Syscall in progress, if the crash is mid-call. *)
+  after_syscall : int option;  (** Last completed syscall. *)
+  subset : int list;  (** Sequence numbers of the replayed in-flight writes. *)
+  in_flight : int;  (** Size of the in-flight vector at this point. *)
+}
+
+type kind =
+  | Unmountable of string  (** Recovery rejected the crash state. *)
+  | Recovery_fault of string  (** Recovery crashed (OOB access, double free...). *)
+  | Atomicity of { syscall : string; diffs : string list }
+      (** Mid-call state matches neither the pre- nor post-state. *)
+  | Synchrony of { syscall : string; diffs : string list }
+      (** Post-call state does not match the completed operation. *)
+  | Torn_data of { path : string; detail : string }
+      (** File bytes that are neither old, new, nor zero. *)
+  | Inaccessible of { path : string; error : string }
+      (** A file or directory in the crash state cannot be inspected. *)
+  | Unusable of string  (** The usability probe (create/write/delete) failed. *)
+
+type t = {
+  fs : string;
+  workload : Vfs.Syscall.t list;
+  crash_point : crash_point;
+  kind : kind;
+}
+
+val fingerprint : t -> string
+(** Stable identity for deduplication: the kind of failure, the syscall
+    involved, and a normalized digest of the evidence — not the specific
+    crash state. *)
+
+val kind_label : kind -> string
+val summary : t -> string
+val pp : Format.formatter -> t -> unit
+(** Full report: workload listing, crash point, evidence. *)

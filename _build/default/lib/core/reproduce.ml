@@ -1,0 +1,100 @@
+module Pm = Persist.Pm
+module Trace = Persist.Trace
+module Image = Pmem.Image
+
+type crash_state = {
+  image : Pmem.Image.t;
+  mount : unit -> (Vfs.Handle.t, string) result;
+  check : unit -> Report.kind list;
+}
+
+exception Found of Image.t * Checker.phase
+
+(* Re-run the recorded workload and replay the trace up to the report's
+   crash point, applying exactly the subset of in-flight writes the report
+   names (by sequence number). *)
+let rebuild (driver : Vfs.Driver.t) (report : Report.t) =
+  let cp = report.Report.crash_point in
+  let img = Image.create ~size:driver.Vfs.Driver.device_size in
+  let pm = Pm.create img in
+  let handle = driver.Vfs.Driver.mkfs pm in
+  let base = Image.snapshot img in
+  let trace = Trace.create () in
+  Pm.trace_to pm trace;
+  let before idx call = Pm.mark_syscall_begin pm ~idx ~descr:(Vfs.Syscall.to_string call) in
+  let after idx _ ret = Pm.mark_syscall_end pm ~idx ~ret in
+  let _ = Vfs.Workload.run ~before ~after handle report.Report.workload in
+  Pm.set_logger pm None;
+  (* Walk the trace like the harness does, counting crash points the same
+     way (every fence and every syscall end), until we hit [cp.fence_no]. *)
+  let replay = base in
+  let vec = ref [] in
+  let cur_syscall = ref None in
+  let fence_no = ref 0 in
+  let wanted = Hashtbl.create 8 in
+  List.iter (fun s -> Hashtbl.replace wanted s ()) cp.Report.subset;
+  let stop_here phase =
+    let units = List.rev !vec in
+    List.iter
+      (fun (u : Coalesce.t) ->
+        if Hashtbl.mem wanted u.Coalesce.seq then
+          List.iter (fun (addr, data) -> Image.write_string replay ~off:addr data) u.Coalesce.parts)
+      units;
+    raise (Found (replay, phase))
+  in
+  let apply_all () =
+    List.iter
+      (fun (u : Coalesce.t) ->
+        List.iter (fun (addr, data) -> Image.write_string replay ~off:addr data) u.Coalesce.parts)
+      (List.rev !vec);
+    vec := []
+  in
+  try
+    Trace.iter trace (fun op ->
+        match op with
+        | Trace.Store s ->
+          vec := Coalesce.add ~coalesce:true ~data_threshold:64 !vec s ~syscall:!cur_syscall
+        | Trace.Fence ->
+          incr fence_no;
+          if !fence_no = cp.Report.fence_no then
+            stop_here
+              (match !cur_syscall with Some i -> Checker.During i | None -> Checker.Initial);
+          apply_all ()
+        | Trace.Syscall_begin { idx; _ } -> cur_syscall := Some idx
+        | Trace.Syscall_end { idx; _ } ->
+          cur_syscall := None;
+          incr fence_no;
+          if !fence_no = cp.Report.fence_no then stop_here (Checker.After idx));
+    Error "crash point not reached: report does not match this configuration"
+  with Found (image, phase) -> Ok (image, phase)
+
+let crash_state driver report =
+  match rebuild driver report with
+  | Error _ as e -> e
+  | Ok (image, phase) ->
+    let mount () =
+      let copy = Image.snapshot image in
+      driver.Vfs.Driver.mount (Pm.create copy)
+    in
+    let check () =
+      let copy = Image.snapshot image in
+      match driver.Vfs.Driver.mount (Pm.create copy) with
+      | exception e -> [ Report.Recovery_fault (Pmem.Fault.to_string e) ]
+      | Error m -> [ Report.Unmountable m ]
+      | Ok h -> (
+        match
+          let tree = Vfs.Walker.capture h in
+          let oracle = Oracle.run report.Report.workload in
+          Checker.check ~atomic_data:driver.Vfs.Driver.atomic_data
+            ~consistency:driver.Vfs.Driver.consistency ~workload:report.Report.workload ~oracle
+            ~phase ~tree
+        with
+        | ks -> ks
+        | exception e -> [ Report.Recovery_fault (Pmem.Fault.to_string e) ])
+    in
+    Ok { image; mount; check }
+
+let verify driver report =
+  match crash_state driver report with
+  | Error _ -> false
+  | Ok cs -> cs.check () <> []

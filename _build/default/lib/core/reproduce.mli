@@ -1,0 +1,26 @@
+(** Reproduce a bug report: re-derive the exact crash state it describes.
+
+    A {!Report.t} pins down a crash deterministically — the workload, the
+    crash point (which fence or syscall boundary), and the sequence numbers
+    of the in-flight writes that were replayed. Because workload execution
+    and trace replay are fully deterministic, re-running the pipeline and
+    stopping at the recorded point rebuilds the bit-identical crash image,
+    ready for interactive post-mortem (mount it, walk the tree, hexdump
+    regions). This is what the paper means by bug reports carrying "enough
+    detail to reproduce the bug" (Figure 1). *)
+
+type crash_state = {
+  image : Pmem.Image.t;  (** The device as it would be after the crash. *)
+  mount : unit -> (Vfs.Handle.t, string) result;
+      (** Run the file system's recovery on (a copy of) the image. *)
+  check : unit -> Report.kind list;
+      (** Re-run the consistency checks; non-empty iff the bug reproduces. *)
+}
+
+val crash_state : Vfs.Driver.t -> Report.t -> (crash_state, string) result
+(** Rebuild the crash state a report describes. Fails if the report's crash
+    point cannot be located (e.g. the report came from a different file
+    system or configuration). *)
+
+val verify : Vfs.Driver.t -> Report.t -> bool
+(** [true] when re-deriving the crash state reproduces a finding. *)

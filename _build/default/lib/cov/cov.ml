@@ -1,0 +1,9 @@
+let enabled = ref false
+let table : (string, unit) Hashtbl.t = Hashtbl.create 256
+
+let enable () = enabled := true
+let disable () = enabled := false
+let reset () = Hashtbl.reset table
+let mark point = if !enabled then Hashtbl.replace table point ()
+let hits () = Hashtbl.fold (fun k () acc -> k :: acc) table [] |> List.sort String.compare
+let count () = Hashtbl.length table

@@ -1,0 +1,24 @@
+(** Coverage points for gray-box fuzzing.
+
+    The original Chipmunk collects kernel coverage through Syzkaller's KCOV
+    integration and user-space coverage through GCC's sanitizer-coverage
+    instrumentation (paper section 3.4.2). In this reproduction, file systems
+    mark interesting code paths explicitly with {!mark}; the fuzzer snapshots
+    the global hit set around each execution to decide whether a workload
+    exercised new behaviour.
+
+    Marking is a no-op unless collection is {!enable}d, so the marks cost
+    nothing outside fuzzing runs. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val reset : unit -> unit
+(** Forget all recorded hits (the enabled/disabled state is unchanged). *)
+
+val mark : string -> unit
+(** Record that the named coverage point was reached. *)
+
+val hits : unit -> string list
+(** All points recorded since the last [reset], sorted. *)
+
+val count : unit -> int

@@ -1,0 +1,1 @@
+lib/ext4dax/ext4dax.ml: Fs Vfs

@@ -1,0 +1,1 @@
+lib/ext4dax/ext4dax.mli: Fs Vfs

@@ -1,0 +1,1 @@
+lib/ext4dax/fs.ml: Array Blockalloc Buffer Bytes Char Cov Hashtbl Int32 Int64 List Persist Pmem Printf Result String Vfs

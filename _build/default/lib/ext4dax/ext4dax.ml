@@ -1,0 +1,35 @@
+(** ext4-DAX and XFS-DAX: mature journaling file systems with weak
+    (fsync-based) crash-consistency guarantees, plus the DAX-specific
+    extensions SplitFS builds on ({!Fs} exposes the raw implementation for
+    that purpose). *)
+
+module Fs = Fs
+module P = Vfs.Posix.Make (Fs)
+
+type config = Fs.config
+
+let default_config = Fs.default_config
+
+let config ?(xfs = false) ?(n_pages = default_config.Fs.n_pages)
+    ?(n_inodes = default_config.Fs.n_inodes) () =
+  {
+    default_config with
+    Fs.fs_name = (if xfs then "xfs-dax" else "ext4-dax");
+    n_pages;
+    n_inodes;
+    aligned_alloc = xfs;
+  }
+
+let driver ?(config = default_config) () =
+  {
+    Vfs.Driver.name = config.Fs.fs_name;
+    consistency = Vfs.Driver.Weak;
+    atomic_data = false;
+    device_size = config.Fs.n_pages * config.Fs.page_size;
+    mkfs = (fun pm -> P.handle (P.init (Fs.mkfs pm config)));
+    mount =
+      (fun pm ->
+        match Fs.mount pm config with
+        | Ok fs -> Ok (P.handle (P.init fs))
+        | Error e -> Error e);
+  }

@@ -1,0 +1,28 @@
+(** ext4-DAX and XFS-DAX: mature journaling file systems with weak
+    (fsync-based) crash-consistency guarantees.
+
+    Metadata lives in DRAM between commits; fsync flushes the target file's
+    DAX-written data and commits all dirty metadata through a jbd2-style
+    redo journal. There are no injectable bugs: the paper found none in
+    either system, and this model doubles as SplitFS's trusted kernel
+    component. *)
+
+module Fs = Fs
+(** The raw implementation, exposed for SplitFS (block mapping, relink) and
+    for white-box tests. *)
+
+module P : module type of Vfs.Posix.Make (Fs)
+
+type config = Fs.config
+
+val default_config : config
+(** The ext4-DAX flavour. *)
+
+val config : ?xfs:bool -> ?n_pages:int -> ?n_inodes:int -> unit -> config
+(** [xfs:true] selects the XFS-DAX flavour: same weak-consistency
+    architecture (both share their crash-consistency machinery with their
+    mature disk-based bases), allocation-group-style block placement. *)
+
+val driver : ?config:config -> unit -> Vfs.Driver.t
+(** Weak consistency: the Chipmunk harness only places crash checks at
+    fsync/fdatasync/sync boundaries for this driver. *)

@@ -1,0 +1,902 @@
+(** The ext4-DAX / XFS-DAX model: a mature journaling file system with weak
+    (fsync-based) crash-consistency guarantees.
+
+    Metadata lives in DRAM between commits; fsync/fdatasync/sync flush the
+    target file's data (DAX data writes are plain cached stores, volatile
+    until flushed) and then commit {e all} dirty metadata through a
+    jbd2-style redo journal: full new images of dirty inode slots and dentry
+    pages are journalled, fenced, committed with a marker, checkpointed in
+    place and cleared. A crash replays a committed journal and otherwise
+    sees the last checkpoint — exactly the "weak guarantees" contract the
+    paper assigns these systems.
+
+    There are no injectable bugs here: the paper found none in either system
+    (attributed to the maturity of the shared base code), and this model's
+    job is to be the trustworthy kernel component under SplitFS. *)
+
+module Types = Vfs.Types
+module Errno = Vfs.Errno
+module Pm = Persist.Pm
+
+let ( let* ) = Result.bind
+
+type config = {
+  fs_name : string;
+  page_size : int;
+  n_pages : int;
+  n_inodes : int;
+  journal_pages : int;
+  aligned_alloc : bool;  (** XFS flavour: allocation-group-style placement. *)
+}
+
+let default_config =
+  {
+    fs_name = "ext4-dax";
+    page_size = 128;
+    n_pages = 1024;
+    n_inodes = 32;
+    journal_pages = 32;
+    aligned_alloc = false;
+  }
+
+let magic = 0x45344458 (* "E4DX" *)
+let version = 1
+let inode_slot_size = 64
+let dentry_size = 32
+let n_direct = 8
+let name_max = 26
+
+let sb_magic = 0
+let sb_version = 4
+let sb_page_size = 8
+let sb_n_pages = 12
+let sb_n_inodes = 16
+
+let i_valid = 0
+let i_kind = 1
+let i_links = 2
+let i_size = 8
+let i_direct = 16
+let i_indirect = 48
+let i_xattr = 52 (* u32: page holding this inode's packed xattrs, 0 = none *)
+
+let d_ino = 0
+let d_valid = 4
+let d_name_len = 5
+let d_name = 6
+
+type lay = {
+  cfg : config;
+  inode_table : int;
+  journal : int;  (** byte offset of the journal area *)
+  journal_space : int;
+  first_free_page : int;
+  size : int;
+  ind_per_page : int;
+}
+
+let layout cfg =
+  let it_pages = (cfg.n_inodes * inode_slot_size + cfg.page_size - 1) / cfg.page_size in
+  let journal_page0 = 1 + it_pages in
+  {
+    cfg;
+    inode_table = cfg.page_size;
+    journal = journal_page0 * cfg.page_size;
+    journal_space = cfg.journal_pages * cfg.page_size;
+    first_free_page = journal_page0 + cfg.journal_pages;
+    size = cfg.n_pages * cfg.page_size;
+    ind_per_page = cfg.page_size / 4;
+  }
+
+let inode_off lay ino = lay.inode_table + (ino * inode_slot_size)
+let page_off lay page = page * lay.cfg.page_size
+let max_blocks lay = n_direct + lay.ind_per_page
+let max_size lay = max_blocks lay * lay.cfg.page_size
+
+type inode = {
+  ino : int;
+  kind : Types.file_kind;
+  mutable links : int;
+  mutable size : int;
+  direct : int array;
+  mutable indirect : int;
+  ind : int array;
+  dentries : (string, int) Hashtbl.t;  (** dirs: name -> ino *)
+  mutable dentry_pages : int list;  (** dirs: pages holding the on-media entries *)
+  xattrs : (string, string) Hashtbl.t;
+  mutable xattr_page : int;  (** 0 = none *)
+  mutable opens : int;
+  mutable dirty : bool;
+  mutable dirty_data : (int * int) list;  (** (off, len) byte ranges not yet flushed *)
+}
+
+type t = {
+  pm : Pm.t;
+  lay : lay;
+  inodes : (int, inode) Hashtbl.t;
+  alloc : Blockalloc.t;
+  mutable next_ino : int;
+  mutable dirty_inodes : int list;
+  mutable deleted_inodes : int list;
+  mutable pending_free : int list;
+      (** Pages freed in DRAM, returned to the allocator only after the
+          deleting transaction commits (real ext4 behaviour, and necessary:
+          reusing them earlier would corrupt the last checkpoint). *)
+}
+
+let root_ino = 0
+let name = "ext4dax"
+
+let fresh_inode lay ~ino ~kind ~links =
+  {
+    ino;
+    kind;
+    links;
+    size = 0;
+    direct = Array.make n_direct 0;
+    indirect = 0;
+    ind = Array.make lay.ind_per_page 0;
+    dentries = Hashtbl.create 8;
+    dentry_pages = [];
+    xattrs = Hashtbl.create 4;
+    xattr_page = 0;
+    opens = 0;
+    dirty = false;
+    dirty_data = [];
+  }
+
+let get t ino =
+  match Hashtbl.find_opt t.inodes ino with None -> Error Errno.ENOENT | Some i -> Ok i
+
+let mark_dirty t inode =
+  if not inode.dirty then begin
+    inode.dirty <- true;
+    t.dirty_inodes <- inode.ino :: t.dirty_inodes
+  end
+
+let alloc_page t =
+  if t.lay.cfg.aligned_alloc then Blockalloc.alloc_aligned t.alloc ~align:4
+  else Blockalloc.alloc t.alloc
+
+let alloc_ino t =
+  let rec scan i =
+    if i >= t.lay.cfg.n_inodes then Error Errno.ENOSPC
+    else if Hashtbl.mem t.inodes i then scan (i + 1)
+    else Ok i
+  in
+  scan 0
+
+(* ------------------------------------------------------------------ *)
+(* Data path: DAX cached stores, volatile until an fsync flushes them. *)
+
+let block_of inode idx = if idx < n_direct then inode.direct.(idx) else inode.ind.(idx - n_direct)
+
+let set_block_dram inode idx pg =
+  if idx < n_direct then inode.direct.(idx) <- pg else inode.ind.(idx - n_direct) <- pg
+
+let read_block t inode idx =
+  match block_of inode idx with
+  | 0 -> String.make t.lay.cfg.page_size '\000'
+  | pg -> Pm.read t.pm ~off:(page_off t.lay pg) ~len:t.lay.cfg.page_size
+
+let read_range t inode ~off ~len =
+  let psz = t.lay.cfg.page_size in
+  let buf = Bytes.create len in
+  let rec go pos =
+    if pos < len then begin
+      let abs = off + pos in
+      let idx = abs / psz and in_page = abs mod psz in
+      let n = min (psz - in_page) (len - pos) in
+      let block = read_block t inode idx in
+      Bytes.blit_string block in_page buf pos n;
+      go (pos + n)
+    end
+  in
+  go 0;
+  Bytes.to_string buf
+
+let note_dirty_data inode ~off ~len = inode.dirty_data <- (off, len) :: inode.dirty_data
+
+(* Map blocks for [first, last]; fresh blocks are zeroed with cached stores
+   (their previous contents must not leak into reads). *)
+let map_blocks t f ~first ~last =
+  let psz = t.lay.cfg.page_size in
+  let* () =
+    if last >= n_direct && f.indirect = 0 then
+      let* pg = alloc_page t in
+      f.indirect <- pg;
+      Ok ()
+    else Ok ()
+  in
+  let rec go idx =
+    if idx > last then Ok ()
+    else
+      match block_of f idx with
+      | 0 ->
+        let* pg = alloc_page t in
+        Pm.store t.pm ~off:(page_off t.lay pg) (String.make psz '\000');
+        set_block_dram f idx pg;
+        go (idx + 1)
+      | _ -> go (idx + 1)
+  in
+  go first
+
+(* ------------------------------------------------------------------ *)
+(* Journal commit (jbd2-style redo)                                    *)
+
+(* Journal area: byte 0 = valid flag, bytes 2-3 = record count (u16),
+   bytes 4.. = records, each [addr u32][len u16][new image bytes]. *)
+
+let rec commit_records t records =
+  if records = [] then ()
+  else begin
+    (* Split transactions that exceed the journal area, like jbd2 does. *)
+    let record_bytes (_, data) = 6 + String.length data in
+    let rec take_fit acc used = function
+      | r :: rest when used + record_bytes r <= t.lay.journal_space - 4 && List.length acc < 64 ->
+        take_fit (r :: acc) (used + record_bytes r) rest
+      | rest -> (List.rev acc, rest)
+    in
+    let batch, overflow = take_fit [] 0 records in
+    if batch = [] then Pmem.Fault.fail "ext4dax journal: record larger than the journal";
+    let records = batch in
+    let body = Buffer.create 256 in
+    List.iter
+      (fun (addr, data) ->
+        let b = Bytes.create 6 in
+        Bytes.set_int32_le b 0 (Int32.of_int addr);
+        Bytes.set_uint16_le b 4 (String.length data);
+        Buffer.add_bytes body b;
+        Buffer.add_string body data)
+      records;
+    let body = Buffer.contents body in
+    let count = Bytes.create 2 in
+    Bytes.set_uint16_le count 0 (List.length records);
+    Pm.memcpy_nt t.pm ~off:(t.lay.journal + 2) (Bytes.to_string count);
+    Pm.memcpy_nt t.pm ~off:(t.lay.journal + 4) body;
+    Pm.fence t.pm;
+    Pm.memcpy_nt t.pm ~off:t.lay.journal "\001";
+    Pm.fence t.pm;
+    (* Checkpoint in place. *)
+    List.iter (fun (addr, data) -> Pm.memcpy_nt t.pm ~off:addr data) records;
+    Pm.fence t.pm;
+    Pm.memcpy_nt t.pm ~off:t.lay.journal "\000";
+    Pm.fence t.pm;
+    commit_records t overflow
+  end
+
+let slot_image t inode ~valid =
+  let b = Bytes.make inode_slot_size '\000' in
+  Bytes.set b i_valid (if valid then '\001' else '\000');
+  Bytes.set b i_kind (match inode.kind with Types.Reg -> '\001' | Types.Dir -> '\002');
+  Bytes.set_uint16_le b i_links inode.links;
+  Bytes.set_int64_le b i_size (Int64.of_int inode.size);
+  Array.iteri (fun i pg -> Bytes.set_int32_le b (i_direct + (4 * i)) (Int32.of_int pg)) inode.direct;
+  Bytes.set_int32_le b i_indirect (Int32.of_int inode.indirect);
+  Bytes.set_int32_le b i_xattr (Int32.of_int inode.xattr_page);
+  (inode_off t.lay inode.ino, Bytes.to_string b)
+
+(* Pack an inode's extended attributes into its xattr page:
+   [name_len u8][value_len u8][name][value]..., zero-terminated. *)
+let xattr_image t inode =
+  let psz = t.lay.cfg.page_size in
+  if Hashtbl.length inode.xattrs = 0 then begin
+    (match inode.xattr_page with
+    | 0 -> ()
+    | pg ->
+      t.pending_free <- pg :: t.pending_free;
+      inode.xattr_page <- 0);
+    Ok None
+  end
+  else begin
+    let* () =
+      if inode.xattr_page = 0 then
+        let* pg = alloc_page t in
+        inode.xattr_page <- pg;
+        Ok ()
+      else Ok ()
+    in
+    let b = Bytes.make psz '\000' in
+    let pos = ref 0 in
+    let overflow = ref false in
+    Hashtbl.iter
+      (fun name value ->
+        let need = 2 + String.length name + String.length value in
+        if !pos + need + 1 > psz then overflow := true
+        else begin
+          Bytes.set b !pos (Char.chr (String.length name));
+          Bytes.set b (!pos + 1) (Char.chr (String.length value));
+          Bytes.blit_string name 0 b (!pos + 2) (String.length name);
+          Bytes.blit_string value 0 b (!pos + 2 + String.length name) (String.length value);
+          pos := !pos + need
+        end)
+      inode.xattrs;
+    if !overflow then Error Errno.ENOSPC
+    else Ok (Some (page_off t.lay inode.xattr_page, Bytes.to_string b))
+  end
+
+(* Serialize a directory's entries into dentry pages, allocating or
+   releasing pages as needed. Returns the page images. *)
+let dir_images t inode =
+  let psz = t.lay.cfg.page_size in
+  let per = psz / dentry_size in
+  let entries = Hashtbl.fold (fun n i acc -> (n, i) :: acc) inode.dentries [] in
+  let entries = List.sort compare entries in
+  let needed = (List.length entries + per - 1) / per in
+  (* Adjust the page list. *)
+  let rec grow pages =
+    if List.length pages >= needed then Ok pages
+    else
+      let* pg = alloc_page t in
+      grow (pages @ [ pg ])
+  in
+  let* pages = grow inode.dentry_pages in
+  let keep, drop =
+    List.filteri (fun i _ -> i < needed) pages,
+    List.filteri (fun i _ -> i >= needed) pages
+  in
+  t.pending_free <- drop @ t.pending_free;
+  inode.dentry_pages <- keep;
+  (* Dentry pages are addressed through the directory's block pointers. *)
+  Array.fill inode.direct 0 n_direct 0;
+  List.iteri (fun i pg -> if i < n_direct then inode.direct.(i) <- pg) keep;
+  inode.size <- List.length entries;
+  let images =
+    List.mapi
+      (fun pi pg ->
+        let b = Bytes.make psz '\000' in
+        List.iteri
+          (fun ei (ename, eino) ->
+            if ei / per = pi then begin
+              let off = ei mod per * dentry_size in
+              Bytes.set_int32_le b (off + d_ino) (Int32.of_int eino);
+              Bytes.set b (off + d_valid) '\001';
+              Bytes.set b (off + d_name_len) (Char.chr (String.length ename));
+              Bytes.blit_string ename 0 b (off + d_name) (String.length ename)
+            end)
+          entries;
+        (page_off t.lay pg, Bytes.to_string b))
+      keep
+  in
+  Ok images
+
+let flush_data t inode =
+  List.iter
+    (fun (off, len) ->
+      let psz = t.lay.cfg.page_size in
+      let rec go pos =
+        if pos < len then begin
+          let abs = off + pos in
+          let idx = abs / psz and in_page = abs mod psz in
+          let n = min (psz - in_page) (len - pos) in
+          (match block_of inode idx with
+          | 0 -> ()
+          | pg -> Pm.flush t.pm ~off:(page_off t.lay pg + in_page) ~len:n);
+          go (pos + n)
+        end
+      in
+      go 0)
+    inode.dirty_data;
+  if inode.dirty_data <> [] then Pm.fence t.pm;
+  inode.dirty_data <- []
+
+(* Commit all dirty metadata. *)
+let commit_metadata t =
+  let records = ref [] in
+  let dirty = List.sort_uniq compare t.dirty_inodes in
+  let deleted = List.sort_uniq compare t.deleted_inodes in
+  let build () =
+    List.iter
+      (fun ino ->
+        match Hashtbl.find_opt t.inodes ino with
+        | None -> ()
+        | Some inode ->
+          (if inode.kind = Types.Dir then
+             match dir_images t inode with
+             | Ok images -> records := images @ !records
+             | Error _ -> Pmem.Fault.fail "ext4dax: no space for directory commit");
+          (match xattr_image t inode with
+          | Ok (Some img) -> records := img :: !records
+          | Ok None -> ()
+          | Error _ -> Pmem.Fault.fail "ext4dax: xattrs overflow their page");
+          (* Indirect page image (pointers live in DRAM until commit). *)
+          if inode.indirect <> 0 then begin
+            let b = Bytes.make t.lay.cfg.page_size '\000' in
+            Array.iteri (fun i pg -> Bytes.set_int32_le b (4 * i) (Int32.of_int pg)) inode.ind;
+            records := (page_off t.lay inode.indirect, Bytes.to_string b) :: !records
+          end;
+          records := slot_image t inode ~valid:true :: !records)
+      dirty;
+    List.iter
+      (fun ino ->
+        records :=
+          (inode_off t.lay ino, String.make inode_slot_size '\000') :: !records)
+      deleted
+  in
+  build ();
+  commit_records t (List.rev !records);
+  List.iter
+    (fun ino -> match Hashtbl.find_opt t.inodes ino with None -> () | Some i -> i.dirty <- false)
+    dirty;
+  t.dirty_inodes <- [];
+  t.deleted_inodes <- [];
+  List.iter (fun pg -> Blockalloc.free t.alloc pg) t.pending_free;
+  t.pending_free <- []
+
+(* ------------------------------------------------------------------ *)
+(* INODE_OPS                                                           *)
+
+let lookup t ~dir ~name:dname =
+  let* d = get t dir in
+  if d.kind <> Types.Dir then Error Errno.ENOTDIR
+  else
+    match Hashtbl.find_opt d.dentries dname with
+    | Some ino -> Ok ino
+    | None -> Error Errno.ENOENT
+
+let getattr t ~ino =
+  let* i = get t ino in
+  Ok
+    {
+      Types.st_ino = ino;
+      st_kind = i.kind;
+      st_size = (match i.kind with Types.Reg -> i.size | Types.Dir -> Hashtbl.length i.dentries);
+      st_nlink = i.links;
+    }
+
+let make_inode t ~dir ~name:dname ~kind =
+  let* d = get t dir in
+  let* ino = alloc_ino t in
+  (* The slot may have been freed earlier in this (uncommitted) transaction;
+     it is live again, so the commit must not zero it. *)
+  t.deleted_inodes <- List.filter (fun i -> i <> ino) t.deleted_inodes;
+  let node = fresh_inode t.lay ~ino ~kind ~links:(match kind with Types.Reg -> 1 | Types.Dir -> 2) in
+  Hashtbl.replace t.inodes ino node;
+  Hashtbl.replace d.dentries dname ino;
+  if kind = Types.Dir then d.links <- d.links + 1;
+  mark_dirty t node;
+  mark_dirty t d;
+  Ok ino
+
+let create t ~dir ~name = make_inode t ~dir ~name ~kind:Types.Reg
+let mkdir t ~dir ~name = make_inode t ~dir ~name ~kind:Types.Dir
+
+let link t ~ino ~dir ~name:dname =
+  let* f = get t ino in
+  let* d = get t dir in
+  Hashtbl.replace d.dentries dname ino;
+  f.links <- f.links + 1;
+  mark_dirty t f;
+  mark_dirty t d;
+  Ok ()
+
+let free_blocks t inode =
+  for idx = 0 to max_blocks t.lay - 1 do
+    match block_of inode idx with
+    | 0 -> ()
+    | pg ->
+      t.pending_free <- pg :: t.pending_free;
+      set_block_dram inode idx 0
+  done;
+  if inode.indirect <> 0 then begin
+    t.pending_free <- inode.indirect :: t.pending_free;
+    inode.indirect <- 0
+  end;
+  if inode.xattr_page <> 0 then begin
+    t.pending_free <- inode.xattr_page :: t.pending_free;
+    inode.xattr_page <- 0
+  end;
+  (* A directory's dentry pages are its direct blocks, already queued by the
+     loop above. *)
+  inode.dentry_pages <- []
+
+let reclaim t inode =
+  free_blocks t inode;
+  Hashtbl.remove t.inodes inode.ino;
+  t.deleted_inodes <- inode.ino :: t.deleted_inodes;
+  t.dirty_inodes <- List.filter (fun i -> i <> inode.ino) t.dirty_inodes
+
+let drop_link t inode =
+  inode.links <- inode.links - 1;
+  mark_dirty t inode;
+  if inode.links = 0 && inode.opens = 0 then reclaim t inode
+
+let unlink t ~dir ~name:dname =
+  let* d = get t dir in
+  let ino = Hashtbl.find d.dentries dname in
+  let* f = get t ino in
+  Hashtbl.remove d.dentries dname;
+  mark_dirty t d;
+  drop_link t f;
+  Ok ()
+
+let rmdir t ~dir ~name:dname =
+  let* d = get t dir in
+  let ino = Hashtbl.find d.dentries dname in
+  let* victim = get t ino in
+  Hashtbl.remove d.dentries dname;
+  d.links <- d.links - 1;
+  mark_dirty t d;
+  victim.links <- 0;
+  if victim.opens = 0 then reclaim t victim;
+  Ok ()
+
+let rename t ~odir ~oname ~ndir ~nname =
+  let* od = get t odir in
+  let* nd = get t ndir in
+  let ino = Hashtbl.find od.dentries oname in
+  let* moved = get t ino in
+  (match Hashtbl.find_opt nd.dentries nname with
+  | None -> ()
+  | Some tino -> (
+    match Hashtbl.find_opt t.inodes tino with
+    | None -> ()
+    | Some victim -> (
+      Hashtbl.remove nd.dentries nname;
+      match victim.kind with
+      | Types.Reg -> drop_link t victim
+      | Types.Dir ->
+        nd.links <- nd.links - 1;
+        victim.links <- 0;
+        if victim.opens = 0 then reclaim t victim)));
+  Hashtbl.remove od.dentries oname;
+  Hashtbl.replace nd.dentries nname ino;
+  if moved.kind = Types.Dir && odir <> ndir then begin
+    od.links <- od.links - 1;
+    nd.links <- nd.links + 1
+  end;
+  mark_dirty t od;
+  mark_dirty t nd;
+  Ok ()
+
+let readdir t ~dir =
+  let* d = get t dir in
+  Ok (Hashtbl.fold (fun n i acc -> { Types.d_ino = i; d_name = n } :: acc) d.dentries [])
+
+let read t ~ino ~off ~len =
+  let* f = get t ino in
+  Ok (read_range t f ~off ~len)
+
+let write t ~ino ~off ~data =
+  let* f = get t ino in
+  let len = String.length data in
+  if len = 0 then Ok 0
+  else if off + len > max_size t.lay then Error Errno.EFBIG
+  else begin
+    let psz = t.lay.cfg.page_size in
+    let first = off / psz and last = (off + len - 1) / psz in
+    let* () = map_blocks t f ~first ~last in
+    (* DAX write: plain cached stores into the mapped blocks. *)
+    for idx = first to last do
+      let pg = block_of f idx in
+      let bstart = idx * psz in
+      let s = max off bstart and e = min (off + len) (bstart + psz) in
+      Pm.store t.pm ~off:(page_off t.lay pg + (s - bstart)) (String.sub data (s - off) (e - s))
+    done;
+    note_dirty_data f ~off ~len;
+    if off + len > f.size then begin
+      f.size <- off + len;
+      mark_dirty t f
+    end;
+    if f.indirect <> 0 || last >= first then mark_dirty t f;
+    Ok len
+  end
+
+let truncate t ~ino ~size =
+  let* f = get t ino in
+  if size > max_size t.lay then Error Errno.EFBIG
+  else begin
+    let psz = t.lay.cfg.page_size in
+    if size < f.size then begin
+      let keep = (size + psz - 1) / psz in
+      for idx = keep to max_blocks t.lay - 1 do
+        match block_of f idx with
+        | 0 -> ()
+        | pg ->
+          t.pending_free <- pg :: t.pending_free;
+          set_block_dram f idx 0
+      done;
+      (* Zero the stale tail of the boundary block so a later extension
+         reads zeros. *)
+      if size mod psz <> 0 then begin
+        match block_of f (size / psz) with
+        | 0 -> ()
+        | pg ->
+          let start = size mod psz in
+          Pm.store t.pm ~off:(page_off t.lay pg + start) (String.make (psz - start) '\000');
+          note_dirty_data f ~off:size ~len:(psz - start)
+      end
+    end;
+    f.size <- size;
+    mark_dirty t f;
+    Ok ()
+  end
+
+let fallocate t ~ino ~off ~len ~keep_size =
+  let* f = get t ino in
+  if off + len > max_size t.lay then Error Errno.EFBIG
+  else begin
+    let psz = t.lay.cfg.page_size in
+    let* () = map_blocks t f ~first:(off / psz) ~last:((off + len - 1) / psz) in
+    note_dirty_data f ~off ~len;
+    if (not keep_size) && off + len > f.size then f.size <- off + len;
+    mark_dirty t f;
+    Ok ()
+  end
+
+let setxattr t ~ino ~name ~value =
+  Cov.mark "ext4dax.xattr";
+  let* f = get t ino in
+  Hashtbl.replace f.xattrs name value;
+  mark_dirty t f;
+  Ok ()
+
+let getxattr t ~ino ~name =
+  let* f = get t ino in
+  match Hashtbl.find_opt f.xattrs name with Some v -> Ok v | None -> Error Errno.ENOENT
+
+let listxattr t ~ino =
+  let* f = get t ino in
+  Ok (Hashtbl.fold (fun k _ acc -> k :: acc) f.xattrs [])
+
+let removexattr t ~ino ~name =
+  let* f = get t ino in
+  if Hashtbl.mem f.xattrs name then begin
+    Hashtbl.remove f.xattrs name;
+    mark_dirty t f;
+    Ok ()
+  end
+  else Error Errno.ENOENT
+
+let fsync t ~ino =
+  Cov.mark "ext4dax.fsync";
+  let* f = get t ino in
+  flush_data t f;
+  commit_metadata t;
+  Ok ()
+
+let sync t =
+  Cov.mark "ext4dax.sync";
+  Hashtbl.iter (fun _ f -> flush_data t f) t.inodes;
+  commit_metadata t
+
+let iget t ~ino = match get t ino with Error _ -> () | Ok i -> i.opens <- i.opens + 1
+
+let iput t ~ino =
+  match get t ino with
+  | Error _ -> ()
+  | Ok i ->
+    i.opens <- max 0 (i.opens - 1);
+    if i.links = 0 && i.opens = 0 then reclaim t i
+
+(* ------------------------------------------------------------------ *)
+(* mkfs and mount                                                      *)
+
+let mkfs pm cfg =
+  let lay = layout cfg in
+  if Pm.size pm < lay.size then
+    Pmem.Fault.fail "ext4dax mkfs: device too small (%d < %d)" (Pm.size pm) lay.size;
+  let t =
+    {
+      pm;
+      lay;
+      inodes = Hashtbl.create 32;
+      alloc = Blockalloc.create ~n_pages:cfg.n_pages;
+      next_ino = 1;
+      dirty_inodes = [];
+      deleted_inodes = [];
+      pending_free = [];
+    }
+  in
+  for p = 0 to lay.first_free_page - 1 do
+    Blockalloc.mark_used t.alloc p
+  done;
+  let sb = Bytes.make 24 '\000' in
+  Bytes.set_int32_le sb sb_magic (Int32.of_int magic);
+  Bytes.set_int32_le sb sb_version (Int32.of_int version);
+  Bytes.set_int32_le sb sb_page_size (Int32.of_int cfg.page_size);
+  Bytes.set_int32_le sb sb_n_pages (Int32.of_int cfg.n_pages);
+  Bytes.set_int32_le sb sb_n_inodes (Int32.of_int cfg.n_inodes);
+  Pm.memcpy_nt t.pm ~off:0 (Bytes.to_string sb);
+  let it_bytes =
+    (cfg.n_inodes * inode_slot_size + cfg.page_size - 1) / cfg.page_size * cfg.page_size
+  in
+  Pm.memset_nt t.pm ~off:lay.inode_table ~len:it_bytes '\000';
+  Pm.memset_nt t.pm ~off:lay.journal ~len:lay.journal_space '\000';
+  let root = fresh_inode lay ~ino:root_ino ~kind:Types.Dir ~links:2 in
+  Hashtbl.replace t.inodes root_ino root;
+  mark_dirty t root;
+  Pm.fence t.pm;
+  commit_metadata t;
+  t
+
+exception Mount_error of string
+
+let mount pm cfg =
+  let lay = layout cfg in
+  let failm fmt = Printf.ksprintf (fun s -> raise (Mount_error s)) fmt in
+  let go () =
+    if Pm.size pm < lay.size then failm "ext4dax: device smaller than layout";
+    if Pm.read_u32 pm ~off:sb_magic <> magic then failm "ext4dax: bad superblock magic";
+    if Pm.read_u32 pm ~off:sb_version <> version then failm "ext4dax: bad version";
+    if Pm.read_u32 pm ~off:sb_page_size <> cfg.page_size then failm "ext4dax: page size mismatch";
+    if Pm.read_u32 pm ~off:sb_n_pages <> cfg.n_pages then failm "ext4dax: page count mismatch";
+    let t =
+      {
+        pm;
+        lay;
+        inodes = Hashtbl.create 32;
+        alloc = Blockalloc.create ~n_pages:cfg.n_pages;
+        next_ino = 1;
+        dirty_inodes = [];
+        deleted_inodes = [];
+        pending_free = [];
+      }
+    in
+    for p = 0 to lay.first_free_page - 1 do
+      Blockalloc.mark_used t.alloc p
+    done;
+    (* Redo-journal recovery. *)
+    if Pm.read_u8 pm ~off:lay.journal = 1 then begin
+      Cov.mark "ext4dax.mount.journal_replay";
+      let n = Pm.read_u16 pm ~off:(lay.journal + 2) in
+      let rec replay pos k =
+        if k > 0 then begin
+          if pos + 6 > lay.journal_space then failm "ext4dax: truncated journal record";
+          let addr = Pm.read_u32 pm ~off:(lay.journal + pos) in
+          let len = Pm.read_u16 pm ~off:(lay.journal + pos + 4) in
+          if pos + 6 + len > lay.journal_space || addr + len > lay.size then
+            failm "ext4dax: journal record out of range";
+          let data = Pm.read pm ~off:(lay.journal + pos + 6) ~len in
+          Pm.memcpy_nt pm ~off:addr data;
+          replay (pos + 6 + len) (k - 1)
+        end
+      in
+      replay 4 n;
+      Pm.fence pm;
+      Pm.memcpy_nt pm ~off:lay.journal "\000";
+      Pm.fence pm
+    end;
+    (* Scan the inode table. *)
+    for ino = 0 to cfg.n_inodes - 1 do
+      let off = inode_off lay ino in
+      if Pm.read_u8 pm ~off:(off + i_valid) = 1 then begin
+        let kind = if Pm.read_u8 pm ~off:(off + i_kind) = 2 then Types.Dir else Types.Reg in
+        let node = fresh_inode lay ~ino ~kind ~links:(Pm.read_u16 pm ~off:(off + i_links)) in
+        node.size <- Pm.read_u64 pm ~off:(off + i_size);
+        for i = 0 to n_direct - 1 do
+          node.direct.(i) <- Pm.read_u32 pm ~off:(off + i_direct + (4 * i))
+        done;
+        node.indirect <- Pm.read_u32 pm ~off:(off + i_indirect);
+        if node.indirect <> 0 then begin
+          if node.indirect >= cfg.n_pages then failm "ext4dax: indirect out of range";
+          for i = 0 to lay.ind_per_page - 1 do
+            node.ind.(i) <- Pm.read_u32 pm ~off:(page_off lay node.indirect + (4 * i))
+          done
+        end;
+        node.xattr_page <- Pm.read_u32 pm ~off:(off + i_xattr);
+        if node.xattr_page <> 0 then begin
+          if node.xattr_page >= cfg.n_pages then failm "ext4dax: xattr page out of range";
+          let raw = Pm.read pm ~off:(page_off lay node.xattr_page) ~len:cfg.page_size in
+          let rec parse pos =
+            if pos + 2 <= cfg.page_size && raw.[pos] <> '\000' then begin
+              let nl = Char.code raw.[pos] and vl = Char.code raw.[pos + 1] in
+              if pos + 2 + nl + vl > cfg.page_size then failm "ext4dax: corrupt xattr page";
+              Hashtbl.replace node.xattrs
+                (String.sub raw (pos + 2) nl)
+                (String.sub raw (pos + 2 + nl) vl);
+              parse (pos + 2 + nl + vl)
+            end
+          in
+          parse 0
+        end;
+        Hashtbl.replace t.inodes ino node
+      end
+    done;
+    if not (Hashtbl.mem t.inodes root_ino) then failm "ext4dax: no root inode";
+    (* Claim blocks; rebuild directories. *)
+    Hashtbl.iter
+      (fun _ node ->
+        if node.indirect <> 0 then Blockalloc.mark_used t.alloc node.indirect;
+        if node.xattr_page <> 0 then Blockalloc.mark_used t.alloc node.xattr_page;
+        for idx = 0 to max_blocks lay - 1 do
+          let pg = block_of node idx in
+          if pg <> 0 then begin
+            if pg >= cfg.n_pages then failm "ext4dax: block out of range";
+            Blockalloc.mark_used t.alloc pg
+          end
+        done)
+      t.inodes;
+    let referenced : (int, unit) Hashtbl.t = Hashtbl.create 32 in
+    Hashtbl.iter
+      (fun _ node ->
+        if node.kind = Types.Dir then begin
+          let per = cfg.page_size / dentry_size in
+          node.dentry_pages <-
+            List.filter (fun pg -> pg <> 0) (Array.to_list node.direct);
+          List.iter
+            (fun pg ->
+              for slot = 0 to per - 1 do
+                let addr = page_off lay pg + (slot * dentry_size) in
+                if Pm.read_u8 pm ~off:(addr + d_valid) = 1 then begin
+                  let target = Pm.read_u32 pm ~off:(addr + d_ino) in
+                  let nlen = Pm.read_u8 pm ~off:(addr + d_name_len) in
+                  if nlen = 0 || nlen > name_max then failm "ext4dax: corrupt dentry";
+                  let dname = Pm.read pm ~off:(addr + d_name) ~len:nlen in
+                  Hashtbl.replace node.dentries dname target;
+                  Hashtbl.replace referenced target ()
+                end
+              done)
+            node.dentry_pages
+        end)
+      t.inodes;
+    Hashtbl.iter
+      (fun _ node ->
+        Hashtbl.iter
+          (fun dname target ->
+            if not (Hashtbl.mem t.inodes target) then
+              failm "ext4dax: dentry %S references free inode %d" dname target)
+          node.dentries)
+      t.inodes;
+    (* Orphans (e.g. an unlinked-but-open file whose deletion committed). *)
+    let orphans =
+      Hashtbl.fold
+        (fun ino node acc ->
+          if ino <> root_ino && not (Hashtbl.mem referenced ino) then node :: acc else acc)
+        t.inodes []
+    in
+    List.iter
+      (fun node ->
+        Cov.mark "ext4dax.mount.orphan";
+        free_blocks t node;
+        Hashtbl.remove t.inodes node.ino;
+        t.deleted_inodes <- node.ino :: t.deleted_inodes)
+      orphans;
+    if orphans <> [] then commit_metadata t;
+    t
+  in
+  match go () with
+  | t -> Ok t
+  | exception Mount_error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* DAX extensions used by SplitFS's user-space component               *)
+
+(* Physical byte offset of block [idx] of [ino], for mmap-style direct
+   stores (how SplitFS writes its staging file). *)
+let block_phys t ~ino ~idx =
+  match get t ino with
+  | Error _ -> None
+  | Ok f -> ( match block_of f idx with 0 -> None | pg -> Some (page_off t.lay pg))
+
+(* The SplitFS "relink" ioctl: move [n] block pointers from [src] (starting
+   at [src_idx]) to [dst] (starting at [dst_idx]) without copying data.
+   Replaced destination blocks are freed at the next commit; the source
+   keeps holes. Both inodes become dirty; the caller is responsible for the
+   committing fsync. *)
+let relink t ~src ~src_idx ~dst ~dst_idx ~n ~dst_size =
+  let* s = get t src in
+  let* d = get t dst in
+  if dst_idx + n > max_blocks t.lay then Error Errno.EFBIG
+  else begin
+    let* () =
+      if dst_idx + n - 1 >= n_direct && d.indirect = 0 then
+        let* pg = alloc_page t in
+        d.indirect <- pg;
+        Ok ()
+      else Ok ()
+    in
+    for i = 0 to n - 1 do
+      let pg = block_of s (src_idx + i) in
+      (match block_of d (dst_idx + i) with
+      | 0 -> ()
+      | old -> t.pending_free <- old :: t.pending_free);
+      set_block_dram d (dst_idx + i) pg;
+      set_block_dram s (src_idx + i) 0
+    done;
+    if dst_size > d.size then d.size <- dst_size;
+    mark_dirty t s;
+    mark_dirty t d;
+    Cov.mark "ext4dax.relink";
+    Ok ()
+  end

@@ -1,0 +1,1 @@
+lib/fuzz/fuzzer.ml: Chipmunk Cov Hashtbl List Prog Random Triage Unix Vfs

@@ -1,0 +1,1 @@
+lib/fuzz/fuzzer.mli: Chipmunk Triage Vfs

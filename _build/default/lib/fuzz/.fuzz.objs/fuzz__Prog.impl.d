@@ -1,0 +1,1 @@
+lib/fuzz/prog.ml: Array List Random String Vfs

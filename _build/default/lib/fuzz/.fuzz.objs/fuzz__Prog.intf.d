@@ -1,0 +1,1 @@
+lib/fuzz/prog.mli: Random Vfs

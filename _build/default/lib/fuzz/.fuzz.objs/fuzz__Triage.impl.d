@@ -1,0 +1,1 @@
+lib/fuzz/triage.ml: Char Chipmunk List String

@@ -1,0 +1,1 @@
+lib/fuzz/triage.mli: Chipmunk

@@ -1,0 +1,102 @@
+type config = {
+  rng_seed : int;
+  max_execs : int;
+  max_seconds : float;
+  max_len : int;
+  harness_opts : Chipmunk.Harness.opts;
+  stop_after_findings : int option;
+}
+
+let default_config =
+  {
+    rng_seed = 1;
+    max_execs = 2000;
+    max_seconds = 60.0;
+    max_len = 14;
+    harness_opts = { Chipmunk.Harness.default_opts with cap = Some 2 };
+    stop_after_findings = None;
+  }
+
+type event = {
+  fingerprint : string;
+  report : Chipmunk.Report.t;
+  at_exec : int;
+  elapsed : float;
+  workload : Vfs.Syscall.t list;
+}
+
+type result = {
+  execs : int;
+  crash_states : int;
+  coverage : int;
+  corpus_size : int;
+  events : event list;
+  clusters : Triage.cluster list;
+  elapsed : float;
+}
+
+exception Stop
+
+let run ?(config = default_config) driver =
+  let rng = Random.State.make [| config.rng_seed |] in
+  let t0 = Unix.gettimeofday () in
+  Cov.enable ();
+  Cov.reset ();
+  let corpus = ref [] in
+  let corpus_n = ref 0 in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let events = ref [] in
+  let all_reports = ref [] in
+  let execs = ref 0 in
+  let states = ref 0 in
+  let next_workload () =
+    (* As in Syzkaller: usually mutate a seed, sometimes generate fresh. *)
+    if !corpus = [] || Random.State.int rng 4 = 0 then Prog.generate rng ~max_len:config.max_len
+    else
+      let seed = List.nth !corpus (Random.State.int rng !corpus_n) in
+      Prog.mutate rng seed
+  in
+  (try
+     while
+       !execs < config.max_execs && Unix.gettimeofday () -. t0 < config.max_seconds
+     do
+       let workload = next_workload () in
+       let cov_before = Cov.count () in
+       let r = Chipmunk.Harness.test_workload ~opts:config.harness_opts driver workload in
+       incr execs;
+       states := !states + r.Chipmunk.Harness.stats.Chipmunk.Harness.crash_states;
+       if Cov.count () > cov_before then begin
+         corpus := workload :: !corpus;
+         incr corpus_n
+       end;
+       List.iter
+         (fun report ->
+           all_reports := report :: !all_reports;
+           let fp = Chipmunk.Report.fingerprint report in
+           if not (Hashtbl.mem seen fp) then begin
+             Hashtbl.replace seen fp ();
+             events :=
+               {
+                 fingerprint = fp;
+                 report;
+                 at_exec = !execs;
+                 elapsed = Unix.gettimeofday () -. t0;
+                 workload;
+               }
+               :: !events;
+             match config.stop_after_findings with
+             | Some n when Hashtbl.length seen >= n -> raise Stop
+             | _ -> ()
+           end)
+         r.Chipmunk.Harness.reports
+     done
+   with Stop -> ());
+  {
+    execs = !execs;
+    crash_states = !states;
+    coverage = Cov.count ();
+    corpus_size = !corpus_n;
+    events = List.rev !events;
+    clusters = Triage.cluster (List.rev !all_reports);
+    elapsed = Unix.gettimeofday () -. t0;
+  }

@@ -1,0 +1,42 @@
+(** The gray-box fuzzing front end (the Syzkaller analogue, paper section
+    3.4.2): generate workloads by genetic mutation of a seed corpus, guided
+    by coverage points in the file systems under test, and run each
+    candidate through the Chipmunk harness.
+
+    Coverage comes from {!Cov} marks placed in file-system code — the
+    stand-in for compiler-inserted coverage instrumentation. Workloads that
+    reach new points are kept as seeds. Reports are deduplicated by
+    fingerprint and clustered for triage. *)
+
+type config = {
+  rng_seed : int;
+  max_execs : int;
+  max_seconds : float;
+  max_len : int;  (** Maximum generated program length. *)
+  harness_opts : Chipmunk.Harness.opts;
+      (** The paper runs the fuzzer with a cap of two replayed writes per
+          crash state so outlier tests cannot stall the campaign. *)
+  stop_after_findings : int option;
+}
+
+val default_config : config
+
+type event = {
+  fingerprint : string;
+  report : Chipmunk.Report.t;
+  at_exec : int;
+  elapsed : float;
+  workload : Vfs.Syscall.t list;
+}
+
+type result = {
+  execs : int;
+  crash_states : int;
+  coverage : int;  (** Distinct coverage points reached. *)
+  corpus_size : int;
+  events : event list;  (** Unique findings in discovery order. *)
+  clusters : Triage.cluster list;
+  elapsed : float;
+}
+
+val run : ?config:config -> Vfs.Driver.t -> result

@@ -1,0 +1,148 @@
+module S = Vfs.Syscall
+
+let paths =
+  [|
+    "/a"; "/b"; "/c"; "/dir"; "/dir/a"; "/dir/b"; "/dir/sub"; "/dir/sub/x"; "/longer_name_file";
+  |]
+
+let dirs = [| "/dir"; "/dir/sub"; "/other" |]
+
+let pick rng a = a.(Random.State.int rng (Array.length a))
+
+(* Deliberately odd offsets and lengths: unaligned writes are one of the
+   patterns ACE omits and the fuzzer is meant to restore. *)
+let odd_int rng bound = 1 + Random.State.int rng bound
+
+let gen_call rng ~next_var ~live_vars =
+  let var () =
+    match live_vars with
+    | [] -> -1
+    | l -> List.nth l (Random.State.int rng (List.length l))
+  in
+  match Random.State.int rng 20 with
+  | 0 | 1 ->
+    let v = !next_var in
+    incr next_var;
+    `Open (S.Creat { path = pick rng paths; fd_var = v }, v)
+  | 2 ->
+    let v = !next_var in
+    incr next_var;
+    let flags =
+      match Random.State.int rng 4 with
+      | 0 -> [ Vfs.Types.O_RDWR ]
+      | 1 -> [ Vfs.Types.O_WRONLY; Vfs.Types.O_APPEND ]
+      | 2 -> [ Vfs.Types.O_RDWR; Vfs.Types.O_CREAT ]
+      | _ -> [ Vfs.Types.O_RDONLY ]
+    in
+    `Open (S.Open { path = pick rng paths; flags; fd_var = v }, v)
+  | 3 -> `Plain (S.Mkdir { path = pick rng dirs })
+  | 4 | 5 ->
+    `Plain
+      (S.Write
+         { fd_var = var (); data = { seed = Random.State.int rng 100000; len = odd_int rng 517 } })
+  | 6 | 7 ->
+    `Plain
+      (S.Pwrite
+         {
+           fd_var = var ();
+           off = Random.State.int rng 700;
+           data = { seed = Random.State.int rng 100000; len = odd_int rng 313 };
+         })
+  | 8 -> `Plain (S.Link { src = pick rng paths; dst = pick rng paths })
+  | 9 -> `Plain (S.Unlink { path = pick rng paths })
+  | 10 -> `Plain (S.Rename { src = pick rng paths; dst = pick rng paths })
+  | 11 -> `Plain (S.Rename { src = pick rng dirs; dst = pick rng dirs })
+  | 12 -> `Plain (S.Truncate { path = pick rng paths; size = Random.State.int rng 900 })
+  | 13 ->
+    `Plain
+      (S.Fallocate
+         {
+           fd_var = var ();
+           off = Random.State.int rng 500;
+           len = odd_int rng 400;
+           keep_size = Random.State.bool rng;
+         })
+  | 14 -> `Plain (S.Rmdir { path = pick rng dirs })
+  | 15 -> `Plain (S.Fsync { fd_var = var () })
+  | 16 -> `Plain (S.Read { fd_var = var (); len = odd_int rng 200 })
+  | 17 ->
+    `Plain
+      (S.Lseek
+         {
+           fd_var = var ();
+           off = Random.State.int rng 400;
+           whence =
+             (match Random.State.int rng 3 with
+             | 0 -> Vfs.Types.SEEK_SET
+             | 1 -> Vfs.Types.SEEK_CUR
+             | _ -> Vfs.Types.SEEK_END);
+         })
+  | 18 -> `Close (var ())
+  | _ -> `Plain S.Sync
+
+let generate rng ~max_len =
+  let len = 2 + Random.State.int rng (max 1 (max_len - 2)) in
+  let next_var = ref 0 in
+  let live = ref [] in
+  let out = ref [] in
+  for _ = 1 to len do
+    match gen_call rng ~next_var ~live_vars:!live with
+    | `Open (c, v) ->
+      live := v :: !live;
+      out := c :: !out
+    | `Close v ->
+      live := List.filter (fun x -> x <> v) !live;
+      out := S.Close { fd_var = v } :: !out
+    | `Plain c -> out := c :: !out
+  done;
+  List.rev !out
+
+let tweak rng call =
+  match call with
+  | S.Write { fd_var; data } ->
+    S.Write { fd_var; data = { data with len = max 1 (data.len + Random.State.int rng 65 - 32) } }
+  | S.Pwrite { fd_var; off; data } ->
+    S.Pwrite
+      {
+        fd_var;
+        off = max 0 (off + Random.State.int rng 129 - 64);
+        data = { data with seed = Random.State.int rng 100000 };
+      }
+  | S.Truncate { path; size } ->
+    S.Truncate { path; size = max 0 (size + Random.State.int rng 257 - 128) }
+  | S.Fallocate { fd_var; off; len; keep_size } ->
+    S.Fallocate { fd_var; off; len; keep_size = not keep_size }
+  | S.Rename { src; dst = _ } -> S.Rename { src; dst = pick rng paths }
+  | c -> c
+
+let mutate rng prog =
+  let arr = Array.of_list prog in
+  let n = Array.length arr in
+  let result =
+    match Random.State.int rng 5 with
+    | 0 ->
+      (* insert a fresh fragment *)
+      let frag = generate rng ~max_len:3 in
+      let pos = Random.State.int rng (n + 1) in
+      List.concat [ Array.to_list (Array.sub arr 0 pos); frag;
+                    Array.to_list (Array.sub arr pos (n - pos)) ]
+    | 1 when n > 1 ->
+      (* delete one call *)
+      let pos = Random.State.int rng n in
+      List.filteri (fun i _ -> i <> pos) prog
+    | 2 when n > 0 ->
+      (* duplicate one call *)
+      let pos = Random.State.int rng n in
+      List.concat_map (fun (i, c) -> if i = pos then [ c; c ] else [ c ])
+        (List.mapi (fun i c -> (i, c)) prog)
+    | 3 when n > 0 ->
+      (* tweak arguments *)
+      let pos = Random.State.int rng n in
+      List.mapi (fun i c -> if i = pos then tweak rng c else c) prog
+    | _ ->
+      (* append *)
+      prog @ generate rng ~max_len:2
+  in
+  if result = [] then generate rng ~max_len:4 else result
+
+let to_string prog = String.concat "; " (List.map S.to_string prog)

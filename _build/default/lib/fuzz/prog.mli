@@ -1,0 +1,18 @@
+(** Workload generation and mutation for the gray-box fuzzer.
+
+    Unlike ACE's exhaustive enumeration, the fuzzer explores long, irregular
+    programs: unaligned offsets and lengths, several descriptors open on the
+    same file, O_APPEND mixes, deep paths, and explicit fsync/sync calls —
+    exactly the complexities the paper credits Syzkaller with covering
+    (section 4.3: the four bugs ACE missed involved non-8-byte-aligned
+    writes and multiple descriptors per file). *)
+
+val generate : Random.State.t -> max_len:int -> Vfs.Syscall.t list
+(** A fresh random program. *)
+
+val mutate : Random.State.t -> Vfs.Syscall.t list -> Vfs.Syscall.t list
+(** One mutation step: insert, delete, duplicate, tweak arguments, or
+    splice in a freshly generated fragment. Never returns an empty
+    program. *)
+
+val to_string : Vfs.Syscall.t list -> string

@@ -1,0 +1,40 @@
+type cluster = {
+  representative : Chipmunk.Report.t;
+  members : Chipmunk.Report.t list;
+}
+
+let tokens r =
+  let text = Chipmunk.Report.summary r ^ " " ^ Chipmunk.Report.fingerprint r in
+  let normalized =
+    String.map
+      (fun c ->
+        if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') then Char.lowercase_ascii c
+        else if c >= '0' && c <= '9' then '#'
+        else ' ')
+      text
+  in
+  String.split_on_char ' ' normalized
+  |> List.filter (fun s -> String.length s > 1)
+  |> List.sort_uniq String.compare
+
+let similarity a b =
+  let ta = tokens a and tb = tokens b in
+  let inter = List.length (List.filter (fun t -> List.mem t tb) ta) in
+  let union = List.length (List.sort_uniq String.compare (ta @ tb)) in
+  if union = 0 then 1.0 else float_of_int inter /. float_of_int union
+
+let cluster ?(threshold = 0.6) reports =
+  let clusters = ref [] in
+  List.iter
+    (fun r ->
+      let rec place = function
+        | [] -> clusters := !clusters @ [ ref (r, [ r ]) ]
+        | c :: rest ->
+          let rep, members = !c in
+          if similarity rep r >= threshold then c := (rep, r :: members) else place rest
+      in
+      place !clusters)
+    reports;
+  List.map (fun c -> let rep, members = !c in { representative = rep; members = List.rev members })
+    !clusters
+  |> List.sort (fun a b -> compare (List.length b.members) (List.length a.members))

@@ -1,0 +1,19 @@
+(** Report triage: fuzzers drown in duplicates, so reports are clustered by
+    lexical similarity (the paper extends Syzkaller with the same simple
+    scheme, section 3.4.2). *)
+
+type cluster = {
+  representative : Chipmunk.Report.t;
+  members : Chipmunk.Report.t list;  (** Including the representative. *)
+}
+
+val tokens : Chipmunk.Report.t -> string list
+(** Normalized lexical tokens of a report's summary and fingerprint. *)
+
+val similarity : Chipmunk.Report.t -> Chipmunk.Report.t -> float
+(** Jaccard similarity of token sets, in [0, 1]. *)
+
+val cluster : ?threshold:float -> Chipmunk.Report.t list -> cluster list
+(** Greedy clustering: each report joins the first cluster whose
+    representative is at least [threshold] (default 0.6) similar, else
+    starts a new one. Clusters are returned largest first. *)

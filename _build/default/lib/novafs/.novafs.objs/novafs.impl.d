@@ -1,0 +1,1 @@
+lib/novafs/novafs.ml: Bugs Entry Fs Journal Layout Vfs

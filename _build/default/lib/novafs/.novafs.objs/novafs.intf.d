@@ -1,0 +1,1 @@
+lib/novafs/novafs.mli: Bugs Entry Fs Journal Layout Vfs

@@ -1,0 +1,1 @@
+lib/novafs/bugs.ml:

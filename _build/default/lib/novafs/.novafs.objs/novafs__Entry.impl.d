@@ -1,0 +1,1 @@
+lib/novafs/entry.ml: Bytes Char Int32 Int64 List Pmem String

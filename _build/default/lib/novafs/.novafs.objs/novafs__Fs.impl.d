@@ -1,0 +1,1 @@
+lib/novafs/fs.ml: Blockalloc Bugs Bytes Cov Entry Hashtbl Int32 Int64 Journal Layout List Persist Pmem Printf Result String Vfs

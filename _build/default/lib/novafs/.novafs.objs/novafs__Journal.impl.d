@@ -1,0 +1,1 @@
+lib/novafs/journal.ml: Bytes Char Int32 Layout List Persist Pmem String

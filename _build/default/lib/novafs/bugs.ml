@@ -1,0 +1,89 @@
+(** Injectable crash-consistency faults for the NOVA / NOVA-Fortis model.
+
+    Each switch re-introduces one bug from the paper's corpus (Table 1,
+    bugs 1-12); all default to [false], i.e. the fixed behaviour. The
+    mechanisms follow the paper's per-bug descriptions and observations
+    (in-place-update shortcuts, items left out of transactions, fragile
+    DRAM-rebuild recovery, non-atomic checksum maintenance). *)
+
+type t = {
+  bug1_dentry_before_inode : bool;
+      (** creat/mkdir commit the directory entry before the new inode slot is
+          persisted; recovery treats the dangling dentry as fatal corruption.
+          Consequence: file system unmountable. (Logic) *)
+  bug2_unflushed_log_init : bool;
+      (** The new inode's log page header is written with a cached store and
+          never flushed; after a crash the inode points to an uninitialised
+          log. Consequence: file is unreadable and undeletable. (PM) *)
+  bug3_tail_before_page_init : bool;
+      (** Log extension publishes the new tail without fencing the new page's
+          initialisation and link first; recovery cannot reach the tail.
+          Consequence: file system unmountable. (Logic) *)
+  bug4_inplace_dentry_invalidate : bool;
+      (** rename invalidates the old directory entry in place before the
+          journaled transaction commits. Consequence: rename atomicity broken,
+          file disappears. (Logic) *)
+  bug5_tail_outside_journal : bool;
+      (** rename leaves the old directory's tail update out of the journal
+          and applies it afterwards. Consequence: rename atomicity broken,
+          old name still present. (Logic) *)
+  bug6_inplace_link_count : bool;
+      (** link bumps the inode link count in place before the new dentry is
+          committed. Consequence: link count incremented before the new name
+          appears. (Logic) *)
+  bug7_eager_truncate_zero : bool;
+      (** truncate zeroes the truncated data pages before the setattr entry
+          commits. Consequence: file data lost. (Logic) *)
+  bug8_fallocate_publish_first : bool;
+      (** fallocate commits the extent entry before the newly allocated pages
+          are zeroed. Consequence: stale data exposed / file data lost.
+          (Logic) *)
+  bug9_nonatomic_entry_csum : bool;
+      (** Fortis: delete/setattr log entries are checksummed with a separate
+          unflushed store. Consequence: unreadable directory or file data
+          loss. (PM) *)
+  bug10_replica_not_updated : bool;
+      (** Fortis: journaled inode updates skip the replica; recovery sees a
+          primary/replica mismatch and degrades the inode. Consequence: file
+          is undeletable. (Logic) *)
+  bug11_replay_truncate_twice : bool;
+      (** Fortis: recovery re-frees pages already reclaimed by the log scan
+          after a truncate. Consequence: FS attempts to deallocate free
+          blocks. (Logic) *)
+  bug12_csum_after_commit : bool;
+      (** Fortis: truncate commits the setattr entry first and fills in the
+          content checksum afterwards. Consequence: file is unreadable.
+          (Logic) *)
+}
+
+let none =
+  {
+    bug1_dentry_before_inode = false;
+    bug2_unflushed_log_init = false;
+    bug3_tail_before_page_init = false;
+    bug4_inplace_dentry_invalidate = false;
+    bug5_tail_outside_journal = false;
+    bug6_inplace_link_count = false;
+    bug7_eager_truncate_zero = false;
+    bug8_fallocate_publish_first = false;
+    bug9_nonatomic_entry_csum = false;
+    bug10_replica_not_updated = false;
+    bug11_replay_truncate_twice = false;
+    bug12_csum_after_commit = false;
+  }
+
+let all =
+  {
+    bug1_dentry_before_inode = true;
+    bug2_unflushed_log_init = true;
+    bug3_tail_before_page_init = true;
+    bug4_inplace_dentry_invalidate = true;
+    bug5_tail_outside_journal = true;
+    bug6_inplace_link_count = true;
+    bug7_eager_truncate_zero = true;
+    bug8_fallocate_publish_first = true;
+    bug9_nonatomic_entry_csum = true;
+    bug10_replica_not_updated = true;
+    bug11_replay_truncate_twice = true;
+    bug12_csum_after_commit = true;
+  }

@@ -1,0 +1,128 @@
+(** Encoding of per-inode log entries.
+
+    Every entry starts with a common header:
+    byte 0: entry type; byte 1: total length; bytes 2-5: crc32 of the whole
+    entry with the checksum field zeroed (0 when Fortis checksums are off).
+
+    [Dentry_add] carries a [valid] byte that the correct implementation
+    never modifies after append (deletion appends a [Dentry_del] entry);
+    clearing it in place is exactly the in-place-update shortcut behind
+    paper bug 4. *)
+
+type t =
+  | Dentry_add of { ino : int; name : string; valid : bool }
+  | Dentry_del of { ino : int; name : string }
+  | File_write of { file_off : int; new_size : int; len : int; pages : int list }
+  | Setattr of { new_size : int; data_csum : int }
+
+let csum_offset = 2
+let valid_offset = 10
+let setattr_csum_offset = 14
+
+let type_code = function
+  | Dentry_add _ -> 1
+  | Dentry_del _ -> 2
+  | File_write _ -> 3
+  | Setattr _ -> 4
+
+let encoded_size = function
+  | Dentry_add { name; _ } | Dentry_del { name; _ } -> 12 + String.length name
+  | File_write { pages; _ } -> 28 + (4 * List.length pages)
+  | Setattr _ -> 18
+
+let set_u16 b off v = Bytes.set_uint16_le b off (v land 0xFFFF)
+let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int (v land 0xFFFFFFFF))
+let set_u64 b off v = Bytes.set_int64_le b off (Int64.of_int v)
+
+let encode ~fortis t =
+  let len = encoded_size t in
+  let b = Bytes.make len '\000' in
+  Bytes.set b 0 (Char.chr (type_code t));
+  Bytes.set b 1 (Char.chr len);
+  (match t with
+  | Dentry_add { ino; name; valid } ->
+    set_u32 b 6 ino;
+    Bytes.set b valid_offset (if valid then '\001' else '\000');
+    Bytes.set b 11 (Char.chr (String.length name));
+    Bytes.blit_string name 0 b 12 (String.length name)
+  | Dentry_del { ino; name } ->
+    set_u32 b 6 ino;
+    Bytes.set b 11 (Char.chr (String.length name));
+    Bytes.blit_string name 0 b 12 (String.length name)
+  | File_write { file_off; new_size; len = wlen; pages } ->
+    set_u64 b 6 file_off;
+    set_u64 b 14 new_size;
+    set_u32 b 22 wlen;
+    set_u16 b 26 (List.length pages);
+    List.iteri (fun i p -> set_u32 b (28 + (4 * i)) p) pages
+  | Setattr { new_size; data_csum } ->
+    set_u64 b 6 new_size;
+    set_u32 b setattr_csum_offset data_csum);
+  if fortis then begin
+    let csum = Pmem.Checksum.crc32 (Bytes.to_string b) in
+    set_u32 b csum_offset csum
+  end;
+  Bytes.to_string b
+
+type decode_error = Bad_type of int | Bad_length | Bad_csum
+
+let get_u16 s off = Char.code s.[off] lor (Char.code s.[off + 1] lsl 8)
+
+let get_u32 s off =
+  get_u16 s off lor (get_u16 s (off + 2) lsl 16)
+
+let get_u64 s off = get_u32 s off lor (get_u32 s (off + 4) lsl 32)
+
+(* Decode the entry starting at [pos] in the raw page body [s]; returns the
+   entry, its encoded length, and whether the in-place valid byte is set. *)
+let decode ~fortis s pos =
+  if pos + 2 > String.length s then Error Bad_length
+  else
+    let etype = Char.code s.[pos] in
+    let elen = Char.code s.[pos + 1] in
+    if elen < 12 || pos + elen > String.length s then Error Bad_length
+    else
+      let check_csum () =
+        if not fortis then true
+        else begin
+          let b = Bytes.of_string (String.sub s pos elen) in
+          set_u32 b csum_offset 0;
+          Pmem.Checksum.crc32 (Bytes.to_string b) = get_u32 s (pos + csum_offset)
+        end
+      in
+      if not (check_csum ()) then Error Bad_csum
+      else
+        match etype with
+        | 1 | 2 ->
+          let ino = get_u32 s (pos + 6) in
+          let name_len = Char.code s.[pos + 11] in
+          if pos + 12 + name_len > String.length s || elen <> 12 + name_len then
+            Error Bad_length
+          else
+            let name = String.sub s (pos + 12) name_len in
+            if etype = 1 then
+              let valid = s.[pos + valid_offset] <> '\000' in
+              Ok (Dentry_add { ino; name; valid }, elen)
+            else Ok (Dentry_del { ino; name }, elen)
+        | 3 ->
+          let n = get_u16 s (pos + 26) in
+          if elen <> 28 + (4 * n) then Error Bad_length
+          else
+            let pages = List.init n (fun i -> get_u32 s (pos + 28 + (4 * i))) in
+            Ok
+              ( File_write
+                  {
+                    file_off = get_u64 s (pos + 6);
+                    new_size = get_u64 s (pos + 14);
+                    len = get_u32 s (pos + 22);
+                    pages;
+                  },
+                elen )
+        | 4 ->
+          if elen <> 18 then Error Bad_length
+          else
+            Ok
+              ( Setattr
+                  { new_size = get_u64 s (pos + 6); data_csum = get_u32 s (pos + setattr_csum_offset) },
+                elen )
+        | n -> Error (Bad_type n)

@@ -1,0 +1,78 @@
+(** NOVA's lite journal: a small redo journal used to update multiple
+    metadata words (log tails, link counts) atomically across inodes.
+
+    Protocol: write the record area (count byte + packed records) with
+    non-temporal stores, fence, set the valid byte, fence, apply the records
+    in place, fence, clear the valid byte, fence. Recovery replays a
+    committed journal before any log scanning.
+
+    Journal page layout: byte 0 = valid flag; byte 1 = record count;
+    bytes 2.. = records, each [addr u32][len u8][data..]. *)
+
+type record = { addr : int; data : string }
+
+let record_size r = 5 + String.length r.data
+
+let encode records =
+  let total = List.fold_left (fun acc r -> acc + record_size r) 0 records in
+  let b = Bytes.make (1 + total) '\000' in
+  Bytes.set b 0 (Char.chr (List.length records));
+  let pos = ref 1 in
+  List.iter
+    (fun r ->
+      Bytes.set_int32_le b !pos (Int32.of_int r.addr);
+      Bytes.set b (!pos + 4) (Char.chr (String.length r.data));
+      Bytes.blit_string r.data 0 b (!pos + 5) (String.length r.data);
+      pos := !pos + record_size r)
+    records;
+  Bytes.to_string b
+
+let commit ?(ordered = true) pm lay records =
+  let body = encode records in
+  if String.length body + 1 > Layout.journal_space lay then
+    Pmem.Fault.fail "nova journal: transaction too large (%d bytes)" (String.length body);
+  Persist.Pm.memcpy_nt pm ~off:(lay.Layout.journal + 1) body;
+  if ordered then Persist.Pm.fence pm;
+  Persist.Pm.memcpy_nt pm ~off:lay.Layout.journal "\001";
+  Persist.Pm.fence pm
+
+let apply pm records =
+  List.iter (fun r -> Persist.Pm.memcpy_nt pm ~off:r.addr r.data) records;
+  Persist.Pm.fence pm
+
+let clear pm lay =
+  Persist.Pm.memcpy_nt pm ~off:lay.Layout.journal "\000";
+  Persist.Pm.fence pm
+
+let run ?(ordered = true) pm lay records =
+  commit ~ordered pm lay records;
+  apply pm records;
+  clear pm lay
+
+(* Recovery: replay a committed journal, if any. Record parsing is bounds
+   checked against the journal area; a malformed committed journal is
+   structural corruption and rejects the mount. *)
+let recover pm lay =
+  if Persist.Pm.read_u8 pm ~off:lay.Layout.journal = 0 then Ok 0
+  else begin
+    let space = Layout.journal_space lay in
+    let n = Persist.Pm.read_u8 pm ~off:(lay.Layout.journal + 1) in
+    let rec parse acc pos k =
+      if k = 0 then Ok (List.rev acc)
+      else if pos + 5 > space then Error "nova journal: truncated record"
+      else
+        let addr = Persist.Pm.read_u32 pm ~off:(lay.Layout.journal + pos) in
+        let len = Persist.Pm.read_u8 pm ~off:(lay.Layout.journal + pos + 4) in
+        if pos + 5 + len > space then Error "nova journal: record overruns journal"
+        else if addr + len > lay.Layout.size then Error "nova journal: record address out of range"
+        else
+          let data = Persist.Pm.read pm ~off:(lay.Layout.journal + pos + 5) ~len in
+          parse ({ addr; data } :: acc) (pos + 5 + len) (k - 1)
+    in
+    match parse [] 2 n with
+    | Error _ as e -> e
+    | Ok records ->
+      apply pm records;
+      clear pm lay;
+      Ok (List.length records)
+  end

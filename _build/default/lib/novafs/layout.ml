@@ -1,0 +1,92 @@
+(** On-media layout of the NOVA model.
+
+    The device is an array of fixed-size pages:
+
+    {v
+    page 0                superblock
+    pages 1 .. it_pages   inode table (fixed slots of 64 bytes)
+    (fortis only)         replica inode table, same size
+    1 page                lite journal
+    remaining pages       log pages and data pages (allocated on demand)
+    v}
+
+    Like the real NOVA, allocator state and directory/extent indexes live
+    only in DRAM and are rebuilt at mount by scanning per-inode logs. *)
+
+type config = {
+  page_size : int;
+  n_pages : int;
+  n_inodes : int;
+  fortis : bool;  (** NOVA-Fortis mode: replica inodes + checksums. *)
+  bugs : Bugs.t;
+}
+
+let default_config =
+  { page_size = 128; n_pages = 1024; n_inodes = 32; fortis = false; bugs = Bugs.none }
+
+let magic = 0x4E4F5641 (* "NOVA" *)
+let log_page_magic = 0x4C4F4750 (* "LOGP" *)
+let version = 1
+
+(* Superblock fields (byte offsets in page 0). *)
+let sb_magic = 0
+let sb_version = 4
+let sb_page_size = 8
+let sb_n_pages = 12
+let sb_n_inodes = 16
+let sb_fortis = 20
+let sb_len = 24
+
+(* Inode slots. *)
+let inode_slot_size = 64
+let i_valid = 0 (* u8: 0 free, 1 in use *)
+let i_kind = 1 (* u8: 1 reg, 2 dir *)
+let i_links = 2 (* u16 *)
+let i_log_head = 4 (* u32: first log page, 0 = none *)
+let i_tail = 8 (* u64: absolute byte offset of the log end (commit pointer) *)
+let i_csum = 16 (* u32, fortis: crc32 of bytes [0, 16) *)
+let inode_used_bytes = 20
+
+(* Log pages. *)
+let lp_magic = 0 (* u32 *)
+let lp_next = 4 (* u32: next log page number, 0 = end *)
+let lp_header = 8
+
+type t = {
+  cfg : config;
+  inode_table : int;  (** byte offset of slot 0 *)
+  replica_table : int;  (** byte offset of replica slot 0; = inode_table when not fortis *)
+  journal : int;  (** byte offset of the journal page *)
+  first_free_page : int;
+  size : int;  (** device bytes *)
+}
+
+let it_pages cfg = (cfg.n_inodes * inode_slot_size + cfg.page_size - 1) / cfg.page_size
+
+let v cfg =
+  let itp = it_pages cfg in
+  let inode_table = cfg.page_size in
+  let replica_table =
+    if cfg.fortis then inode_table + (itp * cfg.page_size) else inode_table
+  in
+  let journal_page = 1 + itp + (if cfg.fortis then itp else 0) in
+  {
+    cfg;
+    inode_table;
+    replica_table;
+    journal = journal_page * cfg.page_size;
+    first_free_page = journal_page + 1;
+    size = cfg.n_pages * cfg.page_size;
+  }
+
+let page_off t page = page * t.cfg.page_size
+let page_of_addr t addr = addr / t.cfg.page_size
+let inode_off t ino = t.inode_table + (ino * inode_slot_size)
+let replica_off t ino = t.replica_table + (ino * inode_slot_size)
+let root_ino = 0
+
+(* A journal page holds at most this many record bytes. *)
+let journal_space t = t.cfg.page_size
+
+(* Usable entry space in a log page. *)
+let log_space t = t.cfg.page_size - lp_header

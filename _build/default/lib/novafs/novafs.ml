@@ -1,0 +1,39 @@
+(** NOVA / NOVA-Fortis: a log-structured PM file system model.
+
+    Public surface:
+    - {!driver} builds a {!Vfs.Driver.t} for the Chipmunk harness;
+    - {!Bugs} holds the injectable crash-consistency faults (paper Table 1,
+      bugs 1-12);
+    - {!Layout} exposes the on-media layout configuration;
+    - {!Fs} is the raw inode-level implementation (exposed for white-box
+      tests). *)
+
+module Bugs = Bugs
+module Layout = Layout
+module Entry = Entry
+module Journal = Journal
+module Fs = Fs
+module P = Vfs.Posix.Make (Fs)
+
+type config = Layout.config
+
+let default_config = Layout.default_config
+
+let config ?(page_size = default_config.Layout.page_size)
+    ?(n_pages = default_config.Layout.n_pages) ?(n_inodes = default_config.Layout.n_inodes)
+    ?(fortis = false) ?(bugs = Bugs.none) () =
+  { Layout.page_size; n_pages; n_inodes; fortis; bugs }
+
+let driver ?(config = default_config) () =
+  {
+    Vfs.Driver.name = (if config.Layout.fortis then "nova-fortis" else "nova");
+    consistency = Vfs.Driver.Strong;
+    atomic_data = true;
+    device_size = config.Layout.n_pages * config.Layout.page_size;
+    mkfs = (fun pm -> P.handle (P.init (Fs.mkfs pm config)));
+    mount =
+      (fun pm ->
+        match Fs.mount pm config with
+        | Ok fs -> Ok (P.handle (P.init fs))
+        | Error e -> Error e);
+  }

@@ -1,0 +1,56 @@
+(** NOVA / NOVA-Fortis: a log-structured PM file system model.
+
+    Metadata lives in per-inode logs published by atomic 8-byte tail
+    updates; multi-word transactions go through a lite redo {!Journal};
+    data writes are copy-on-write; allocator and directory indexes are
+    volatile and rebuilt at mount. Fortis mode adds inode replicas and
+    CRC32 checksums on inodes and log entries. *)
+
+module Bugs : sig
+  (** The paper's NOVA / NOVA-Fortis bug corpus as injectable switches (all
+      default off = the fixed behaviour). See the field documentation in
+      the implementation for per-bug mechanisms. *)
+  type t = Bugs.t = {
+    bug1_dentry_before_inode : bool;
+    bug2_unflushed_log_init : bool;
+    bug3_tail_before_page_init : bool;
+    bug4_inplace_dentry_invalidate : bool;
+    bug5_tail_outside_journal : bool;
+    bug6_inplace_link_count : bool;
+    bug7_eager_truncate_zero : bool;
+    bug8_fallocate_publish_first : bool;
+    bug9_nonatomic_entry_csum : bool;
+    bug10_replica_not_updated : bool;
+    bug11_replay_truncate_twice : bool;
+    bug12_csum_after_commit : bool;
+  }
+
+  val none : t
+  val all : t
+end
+
+module Layout = Layout
+module Entry = Entry
+module Journal = Journal
+
+module Fs = Fs
+(** The raw inode-level implementation, exposed for white-box tests. *)
+
+module P : module type of Vfs.Posix.Make (Fs)
+
+type config = Layout.config
+
+val default_config : config
+
+val config :
+  ?page_size:int ->
+  ?n_pages:int ->
+  ?n_inodes:int ->
+  ?fortis:bool ->
+  ?bugs:Bugs.t ->
+  unit ->
+  config
+
+val driver : ?config:config -> unit -> Vfs.Driver.t
+(** Strong consistency with atomic data writes. The driver is named
+    "nova-fortis" when the config enables Fortis mode. *)

@@ -1,0 +1,1 @@
+lib/persist/analysis.ml: Hashtbl List Option String Trace

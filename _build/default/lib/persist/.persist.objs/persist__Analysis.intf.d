@@ -1,0 +1,1 @@
+lib/persist/analysis.mli: Trace

@@ -1,0 +1,1 @@
+lib/persist/pm.ml: Bytes Char Pmem String Trace Undo

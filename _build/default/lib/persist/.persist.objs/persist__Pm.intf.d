@@ -1,0 +1,1 @@
+lib/persist/pm.mli: Pmem Trace Undo

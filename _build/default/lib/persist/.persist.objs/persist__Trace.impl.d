@@ -1,0 +1,1 @@
+lib/persist/trace.ml: Array Format List String

@@ -1,0 +1,1 @@
+lib/persist/undo.ml: List Pmem String

@@ -1,0 +1,1 @@
+lib/persist/undo.mli: Pmem

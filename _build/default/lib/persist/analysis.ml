@@ -1,0 +1,49 @@
+type epoch = { syscall_idx : int option; syscall : string option; stores : int }
+
+let epochs trace =
+  let out = ref [] in
+  let current = ref 0 in
+  let sc_idx = ref None in
+  let sc_descr = ref None in
+  Trace.iter trace (fun op ->
+      match op with
+      | Trace.Store _ -> incr current
+      | Trace.Fence ->
+        out := { syscall_idx = !sc_idx; syscall = !sc_descr; stores = !current } :: !out;
+        current := 0
+      | Trace.Syscall_begin { idx; descr } ->
+        sc_idx := Some idx;
+        sc_descr := Some descr
+      | Trace.Syscall_end _ ->
+        sc_idx := None;
+        sc_descr := None);
+  if !current > 0 then
+    out := { syscall_idx = !sc_idx; syscall = !sc_descr; stores = !current } :: !out;
+  List.rev !out
+
+type summary = { count : int; mean : float; max : int }
+
+let summarize sizes =
+  match sizes with
+  | [] -> { count = 0; mean = 0.; max = 0 }
+  | _ ->
+    let count = List.length sizes in
+    let total = List.fold_left ( + ) 0 sizes in
+    let max = List.fold_left max 0 sizes in
+    { count; mean = float_of_int total /. float_of_int count; max }
+
+let first_word s = match String.index_opt s ' ' with None -> s | Some i -> String.sub s 0 i
+
+let per_syscall_summary trace =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      match e.syscall with
+      | None -> ()
+      | Some descr ->
+        let key = first_word descr in
+        let prev = Option.value (Hashtbl.find_opt tbl key) ~default:[] in
+        Hashtbl.replace tbl key (e.stores :: prev))
+    (epochs trace);
+  Hashtbl.fold (fun k sizes acc -> (k, summarize sizes) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,21 @@
+(** Trace analysis used to reproduce the paper's empirical observations about
+    PM write patterns (section 3.2 and Observation 7): in-flight vector sizes
+    overall and per system call. *)
+
+type epoch = {
+  syscall_idx : int option;  (** [None] for writes outside any marked syscall. *)
+  syscall : string option;  (** Description of the issuing syscall, if any. *)
+  stores : int;  (** In-flight vector size at the closing fence. *)
+}
+
+val epochs : Trace.t -> epoch list
+(** One entry per fence (plus a trailing entry if the trace ends with
+    unfenced in-flight stores), with the syscall active at that point. *)
+
+type summary = { count : int; mean : float; max : int }
+
+val summarize : int list -> summary
+
+val per_syscall_summary : Trace.t -> (string * summary) list
+(** In-flight vector size summary grouped by syscall name (the first word of
+    the syscall description), sorted by name. *)

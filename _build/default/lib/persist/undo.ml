@@ -1,0 +1,29 @@
+type t = {
+  image : Pmem.Image.t;
+  mutable pre : (int * string) list;  (** (offset, original bytes), newest first *)
+  mutable entries : int;
+  mutable bytes : int;
+}
+
+let create image = { image; pre = []; entries = 0; bytes = 0 }
+
+let note t ~off ~len =
+  if len > 0 then begin
+    let old = Pmem.Image.read t.image ~off ~len in
+    t.pre <- (off, old) :: t.pre;
+    t.entries <- t.entries + 1;
+    t.bytes <- t.bytes + len
+  end
+
+let write_string t ~off s =
+  note t ~off ~len:(String.length s);
+  Pmem.Image.write_string t.image ~off s
+
+let rollback t =
+  List.iter (fun (off, old) -> Pmem.Image.write_string t.image ~off old) t.pre;
+  t.pre <- [];
+  t.entries <- 0;
+  t.bytes <- 0
+
+let entries t = t.entries
+let bytes t = t.bytes

@@ -1,0 +1,29 @@
+(** Undo log for mutations of a replay image.
+
+    The consistency checks mutate the crash state under test (mounting the
+    file system may replay its journal; the usability check creates and
+    deletes files). Following the paper (end of section 3.3), we record an
+    undo log of pre-images for these mutations and roll the image back before
+    advancing to the next crash state — far cheaper than copying the whole
+    device per crash state. *)
+
+type t
+
+val create : Pmem.Image.t -> t
+(** An empty undo log protecting the given image. *)
+
+val note : t -> off:int -> len:int -> unit
+(** Record the current contents of [off, off+len) so that a later
+    {!rollback} restores them. Call before overwriting the region. *)
+
+val write_string : t -> off:int -> string -> unit
+(** [note] the region, then write [s] at [off]. *)
+
+val rollback : t -> unit
+(** Undo all recorded writes, most recent first, and empty the log. *)
+
+val entries : t -> int
+(** Number of pre-images currently recorded. *)
+
+val bytes : t -> int
+(** Total pre-image bytes currently recorded. *)

@@ -1,0 +1,1 @@
+lib/pmcommon/datapath.ml: Cov Persist Pmem String

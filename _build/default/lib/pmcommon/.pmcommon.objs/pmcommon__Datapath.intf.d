@@ -1,0 +1,1 @@
+lib/pmcommon/datapath.mli: Persist

@@ -1,0 +1,1 @@
+lib/pmcommon/jfs.ml: Array Blockalloc Bytes Char Cov Datapath Hashtbl Int32 Int64 List Persist Pmem Printf Result String Undo_journal Vfs

@@ -1,0 +1,1 @@
+lib/pmcommon/undo_journal.ml: Buffer Bytes Char Int32 List Persist Pmem String

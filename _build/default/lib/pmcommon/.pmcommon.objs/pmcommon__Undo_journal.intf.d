@@ -1,0 +1,1 @@
+lib/pmcommon/undo_journal.mli: Persist

@@ -1,0 +1,15 @@
+module Pm = Persist.Pm
+
+let copy_to_pm ?(bug_skip_tail_flush = false) pm ~off ~data =
+  let len = String.length data in
+  let line = Pmem.Const.cache_line in
+  (* Bulk prefix: whole cache lines from [off] rounded up to alignment. *)
+  let bulk_end = if len >= line then off + (len / line * line) else off in
+  if bulk_end > off then Pm.memcpy_nt pm ~off (String.sub data 0 (bulk_end - off));
+  let tail_len = off + len - bulk_end in
+  if tail_len > 0 then begin
+    let tail = String.sub data (len - tail_len) tail_len in
+    Pm.store pm ~off:bulk_end tail;
+    if bug_skip_tail_flush then Cov.mark "datapath.unflushed_tail"
+    else Pm.flush pm ~off:bulk_end ~len:tail_len
+  end

@@ -1,0 +1,14 @@
+(** File-data copy into PM, modelled on the PMFS/WineFS [memcpy_to_pmem]
+    helpers: bulk cache-line-multiple prefixes go through non-temporal
+    stores; the unaligned tail goes through cached stores plus an explicit
+    flush.
+
+    This split is exactly where the paper's bugs 17/18 live: the optimized
+    non-temporal path forgets to flush the cached unaligned tail, so the
+    final bytes of a write can be lost even after the call returns. *)
+
+val copy_to_pm :
+  ?bug_skip_tail_flush:bool -> Persist.Pm.t -> off:int -> data:string -> unit
+(** Copy [data] to [off]. No fence is issued; callers order the copy with
+    their own fences. With the bug switch, the cached unaligned tail is
+    written but never flushed. *)

@@ -1,0 +1,75 @@
+module Pm = Persist.Pm
+
+type t = { base : int; space : int }
+
+let encode_records pm spans =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun (addr, len) ->
+      let b = Bytes.create 5 in
+      Bytes.set_int32_le b 0 (Int32.of_int addr);
+      Bytes.set b 4 (Char.chr len);
+      Buffer.add_bytes buf b;
+      Buffer.add_string buf (Pm.read pm ~off:addr ~len))
+    spans;
+  Buffer.contents buf
+
+let begin_tx ?(bug16_count_before_records = false) pm t ~spans =
+  let body = encode_records pm spans in
+  if String.length body + 2 > t.space then
+    Pmem.Fault.fail "undo journal: transaction too large (%d bytes)" (String.length body);
+  let count = String.make 1 (Char.chr (List.length spans)) in
+  if bug16_count_before_records then begin
+    (* Bug 16 (logic): the valid flag is published in the same epoch as the
+       count and records instead of after them, so a crash can expose a
+       committed-looking journal whose count describes stale record bytes.
+       The recovery-side validation is disabled by the same switch, so the
+       stale bytes are trusted and produce wild rollback writes. *)
+    Pm.memcpy_nt pm ~off:(t.base + 1) count;
+    Pm.memcpy_nt pm ~off:(t.base + 2) body;
+    Pm.memcpy_nt pm ~off:t.base "\001";
+    Pm.fence pm
+  end
+  else begin
+    Pm.memcpy_nt pm ~off:(t.base + 1) count;
+    Pm.memcpy_nt pm ~off:(t.base + 2) body;
+    Pm.fence pm;
+    Pm.memcpy_nt pm ~off:t.base "\001";
+    Pm.fence pm
+  end
+
+let end_tx pm t =
+  Pm.fence pm;
+  Pm.memcpy_nt pm ~off:t.base "\000";
+  Pm.fence pm
+
+let recover ?(bug16_skip_validation = false) pm t ~device_size =
+  if Pm.read_u8 pm ~off:t.base = 0 then Ok 0
+  else begin
+    let n = Pm.read_u8 pm ~off:(t.base + 1) in
+    let rec roll pos k rolled =
+      if k = 0 then Ok rolled
+      else if (not bug16_skip_validation) && pos + 5 > t.space then
+        Error "undo journal: truncated record"
+      else begin
+        let addr = Pm.read_u32 pm ~off:(t.base + pos) in
+        let len = Pm.read_u8 pm ~off:(t.base + pos + 4) in
+        if (not bug16_skip_validation) && (pos + 5 + len > t.space || addr + len > device_size)
+        then Error "undo journal: record out of range"
+        else begin
+          (* An unvalidated wild address faults on the device model, exactly
+             like the kernel OOB access the paper reports. *)
+          let pre = Pm.read pm ~off:(t.base + pos + 5) ~len in
+          Pm.memcpy_nt pm ~off:addr pre;
+          roll (pos + 5 + len) (k - 1) (rolled + 1)
+        end
+      end
+    in
+    match roll 2 n 0 with
+    | Error _ as e -> e
+    | Ok rolled ->
+      Pm.fence pm;
+      Pm.memcpy_nt pm ~off:t.base "\000";
+      Pm.fence pm;
+      Ok rolled
+  end

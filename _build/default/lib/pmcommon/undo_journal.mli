@@ -1,0 +1,33 @@
+(** The undo journal used by the PMFS/WineFS family.
+
+    Unlike NOVA's redo journal, transactions here record {e pre-images}: the
+    old contents of every metadata span the transaction will overwrite. On a
+    clean run the journal is committed, the spans are updated in place, and
+    the journal is cleared; recovery after a crash rolls the spans back to
+    their pre-images, making the whole transaction appear never to have
+    happened.
+
+    Journal area layout: byte 0 = valid flag, byte 1 = record count,
+    bytes 2.. = records, each [addr u32][len u8][pre-image bytes]. *)
+
+type t = { base : int; space : int }
+(** One journal area on the device (WineFS has one per CPU). *)
+
+val begin_tx :
+  ?bug16_count_before_records:bool -> Persist.Pm.t -> t -> spans:(int * int) list -> unit
+(** Record pre-images of the given (addr, len) spans and commit the journal
+    (records, fence, valid, fence). With the bug-16 switch, the record
+    count is persisted in the same epoch {e before} the records themselves,
+    so a crash can expose a committed journal whose count describes stale
+    record bytes. *)
+
+val end_tx : Persist.Pm.t -> t -> unit
+(** Fence the caller's in-place updates and clear the valid flag. *)
+
+val recover :
+  ?bug16_skip_validation:bool -> Persist.Pm.t -> t -> device_size:int -> (int, string) result
+(** Roll back a committed transaction, if any. Returns the number of spans
+    rolled back. Validation failures (record overruns the journal area or
+    the device) reject the mount — unless the bug-16 switch disables
+    validation, in which case garbage record contents are trusted and the
+    resulting wild writes surface as device faults. *)

@@ -1,0 +1,1 @@
+lib/pmem/fault.ml: Format Printexc Printf

@@ -1,0 +1,1 @@
+lib/pmem/image.ml: Buffer Bytes Char Fault Int32 Int64 Printf String

@@ -1,0 +1,8 @@
+(** CRC32 (IEEE 802.3 polynomial), used by the NOVA-Fortis and SplitFS models
+    to checksum metadata structures and log entries. *)
+
+val crc32 : string -> int
+(** Checksum of a whole string, in [0, 2^32). *)
+
+val crc32_sub : string -> pos:int -> len:int -> int
+(** Checksum of a substring. *)

@@ -1,0 +1,7 @@
+let cache_line = 64
+let atomic_unit = 8
+let line_of addr = addr / cache_line
+let line_base addr = addr - (addr mod cache_line)
+
+let is_atomic ~off ~len =
+  len > 0 && len <= atomic_unit && off / atomic_unit = (off + len - 1) / atomic_unit

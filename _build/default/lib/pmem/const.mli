@@ -1,0 +1,23 @@
+(** Architectural constants of the simulated persistence model.
+
+    The model follows the x86 epoch-based persistence model described in
+    section 2 of the Chipmunk paper: stores reach persistent media at
+    cache-line granularity, the unit of write atomicity is 8 bytes, and
+    ordering is only guaranteed across store fences. *)
+
+val cache_line : int
+(** Size in bytes of a cache line, the granularity of [clwb]-style flushes. *)
+
+val atomic_unit : int
+(** Size in bytes of an atomically-persisted aligned write (8 on Intel PM).
+    Writes no larger than this, aligned to it, cannot tear. *)
+
+val line_of : int -> int
+(** [line_of addr] is the index of the cache line containing byte [addr]. *)
+
+val line_base : int -> int
+(** [line_base addr] is the address of the first byte of [addr]'s line. *)
+
+val is_atomic : off:int -> len:int -> bool
+(** Whether a write of [len] bytes at [off] persists atomically: it must fit
+    within one aligned [atomic_unit]. *)

@@ -1,0 +1,22 @@
+(** Faults raised by the simulated hardware and caught by the test harness.
+
+    A file system that performs an out-of-bounds access (paper bug 16) or a
+    double free during recovery (paper bug 11) raises one of these; the
+    Chipmunk checker converts the exception into a bug report rather than
+    crashing the harness. *)
+
+exception Out_of_bounds of { off : int; len : int; size : int }
+(** Access to [off, off+len) on a device of [size] bytes. *)
+
+exception Device_fault of string
+(** Any other condition the simulated hardware treats as fatal (e.g. a
+    detected double free in an allocator, a null-dereference stand-in). *)
+
+let out_of_bounds ~off ~len ~size = raise (Out_of_bounds { off; len; size })
+let fail fmt = Format.kasprintf (fun s -> raise (Device_fault s)) fmt
+
+let to_string = function
+  | Out_of_bounds { off; len; size } ->
+    Printf.sprintf "out-of-bounds access: [%d, %d) on device of %d bytes" off (off + len) size
+  | Device_fault msg -> Printf.sprintf "device fault: %s" msg
+  | e -> Printexc.to_string e

@@ -1,0 +1,83 @@
+type t = { data : Bytes.t; size : int }
+
+let create ~size = { data = Bytes.make size '\000'; size }
+let size t = t.size
+
+let check t ~off ~len =
+  if off < 0 || len < 0 || off + len > t.size then
+    Fault.out_of_bounds ~off ~len ~size:t.size
+
+let read t ~off ~len =
+  check t ~off ~len;
+  Bytes.sub_string t.data off len
+
+let read_u8 t ~off =
+  check t ~off ~len:1;
+  Char.code (Bytes.get t.data off)
+
+let read_u16 t ~off =
+  check t ~off ~len:2;
+  Bytes.get_uint16_le t.data off
+
+let read_u32 t ~off =
+  check t ~off ~len:4;
+  Int32.to_int (Bytes.get_int32_le t.data off) land 0xFFFFFFFF
+
+let read_u64 t ~off =
+  check t ~off ~len:8;
+  Int64.to_int (Bytes.get_int64_le t.data off)
+
+let write_string t ~off s =
+  check t ~off ~len:(String.length s);
+  Bytes.blit_string s 0 t.data off (String.length s)
+
+let fill t ~off ~len c =
+  check t ~off ~len;
+  Bytes.fill t.data off len c
+
+let write_u8 t ~off v =
+  check t ~off ~len:1;
+  Bytes.set t.data off (Char.chr (v land 0xFF))
+
+let write_u16 t ~off v =
+  check t ~off ~len:2;
+  Bytes.set_uint16_le t.data off (v land 0xFFFF)
+
+let write_u32 t ~off v =
+  check t ~off ~len:4;
+  Bytes.set_int32_le t.data off (Int32.of_int (v land 0xFFFFFFFF))
+
+let write_u64 t ~off v =
+  check t ~off ~len:8;
+  Bytes.set_int64_le t.data off (Int64.of_int v)
+
+let snapshot t = { data = Bytes.copy t.data; size = t.size }
+
+let restore t ~from =
+  if t.size <> from.size then Fault.fail "restore: size mismatch (%d vs %d)" t.size from.size;
+  Bytes.blit from.data 0 t.data 0 t.size
+
+let equal a b = a.size = b.size && Bytes.equal a.data b.data
+
+let hexdump ?(off = 0) ?len t =
+  let len = match len with Some l -> l | None -> t.size - off in
+  check t ~off ~len;
+  let buf = Buffer.create (len * 4) in
+  let rec go pos =
+    if pos < off + len then begin
+      let n = min 16 (off + len - pos) in
+      Buffer.add_string buf (Printf.sprintf "%08x  " pos);
+      for i = 0 to n - 1 do
+        Buffer.add_string buf (Printf.sprintf "%02x " (Char.code (Bytes.get t.data (pos + i))))
+      done;
+      Buffer.add_char buf ' ';
+      for i = 0 to n - 1 do
+        let c = Bytes.get t.data (pos + i) in
+        Buffer.add_char buf (if c >= ' ' && c <= '~' then c else '.')
+      done;
+      Buffer.add_char buf '\n';
+      go (pos + 16)
+    end
+  in
+  go off;
+  Buffer.contents buf

@@ -1,0 +1,50 @@
+(** A simulated persistent-memory device image.
+
+    The image holds the byte contents of one PM device. During workload
+    execution it represents the CPU's view of memory (all stores are visible,
+    regardless of persistence); persistence is tracked separately by the
+    {!Persist} trace and reconstructed by the Chipmunk replayer, which applies
+    logged writes onto a snapshot of this image.
+
+    All accesses are bounds-checked and raise {!Fault.Out_of_bounds} on
+    violation, mirroring how a stray kernel access would fault on real
+    hardware. *)
+
+type t
+
+val create : size:int -> t
+(** A zero-filled device of [size] bytes. *)
+
+val size : t -> int
+
+val read : t -> off:int -> len:int -> string
+(** [read t ~off ~len] copies [len] bytes starting at [off]. *)
+
+val read_u8 : t -> off:int -> int
+val read_u16 : t -> off:int -> int
+val read_u32 : t -> off:int -> int
+val read_u64 : t -> off:int -> int
+(** Little-endian fixed-width loads. [read_u64] returns an OCaml [int]
+    (images are far smaller than 2^62 bytes, so no precision is lost). *)
+
+val write_string : t -> off:int -> string -> unit
+(** Raw store, bypassing persistence tracking. Used by the persistence layer
+    and by the replayer; file systems must go through {!Persist.Pm}. *)
+
+val fill : t -> off:int -> len:int -> char -> unit
+
+val write_u8 : t -> off:int -> int -> unit
+val write_u16 : t -> off:int -> int -> unit
+val write_u32 : t -> off:int -> int -> unit
+val write_u64 : t -> off:int -> int -> unit
+
+val snapshot : t -> t
+(** An independent copy of the image. *)
+
+val restore : t -> from:t -> unit
+(** Overwrite [t]'s contents with those of [from]. Sizes must match. *)
+
+val equal : t -> t -> bool
+
+val hexdump : ?off:int -> ?len:int -> t -> string
+(** Human-readable dump of a region, used in bug reports. *)

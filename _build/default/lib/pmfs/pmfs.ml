@@ -1,0 +1,76 @@
+(** PMFS: in-place metadata under a single undo journal, a persistent
+    truncate list, and non-atomic in-place data writes — instantiated from
+    the shared {!Pmcommon.Jfs} core.
+
+    {!Bugs} exposes the paper's PMFS corpus: bug 13 (truncate-list replay
+    dereferences the lost volatile free list), bugs 14/15 (write fast path
+    not synchronous), bug 16 (unvalidated journal recovery reads out of
+    bounds) and bugs 17/18 (unflushed unaligned data tails). *)
+
+module Jfs = Pmcommon.Jfs
+
+module Bugs = struct
+  type t = {
+    bug13_truncate_replay : bool;
+    bug14_async_write : bool;
+    bug16_journal_oob : bool;
+    bug17_unflushed_tail : bool;
+  }
+
+  let none =
+    {
+      bug13_truncate_replay = false;
+      bug14_async_write = false;
+      bug16_journal_oob = false;
+      bug17_unflushed_tail = false;
+    }
+
+  let all =
+    {
+      bug13_truncate_replay = true;
+      bug14_async_write = true;
+      bug16_journal_oob = true;
+      bug17_unflushed_tail = true;
+    }
+
+  let to_jfs t =
+    {
+      Jfs.no_bugs with
+      Jfs.bug13_replay_without_freelist = t.bug13_truncate_replay;
+      bug14_skip_data_fence = t.bug14_async_write;
+      bug16_unvalidated_journal = t.bug16_journal_oob;
+      bug17_skip_tail_flush = t.bug17_unflushed_tail;
+    }
+end
+
+type config = Jfs.config
+
+let config ?(bugs = Bugs.none) ?(n_pages = Jfs.base_config.Jfs.n_pages)
+    ?(n_inodes = Jfs.base_config.Jfs.n_inodes) () =
+  {
+    Jfs.base_config with
+    Jfs.fs_name = "pmfs";
+    n_pages;
+    n_inodes;
+    n_journals = 1;
+    strict_data = false;
+    bugs = Bugs.to_jfs bugs;
+  }
+
+let default_config = config ()
+
+module P = Vfs.Posix.Make (Jfs)
+
+let driver ?(config = default_config) () =
+  {
+    Vfs.Driver.name = "pmfs";
+    consistency = Vfs.Driver.Strong;
+    atomic_data = false;
+    device_size = config.Jfs.n_pages * config.Jfs.page_size;
+    mkfs = (fun pm -> P.handle (P.init (Jfs.mkfs pm config)));
+    mount =
+      (fun pm ->
+        match Jfs.mount pm config with
+        | Ok fs -> Ok (P.handle (P.init fs))
+        | Error e -> Error e);
+  }

@@ -1,0 +1,37 @@
+(** PMFS: in-place metadata under a single undo journal, a persistent
+    truncate (orphan) list, and non-atomic in-place data writes —
+    instantiated from the shared {!Pmcommon.Jfs} core. *)
+
+module Jfs = Pmcommon.Jfs
+
+(** The paper's PMFS bug corpus as injectable switches (all default off). *)
+module Bugs : sig
+  type t = {
+    bug13_truncate_replay : bool;
+        (** Recovery replays the truncate list before the volatile free list
+            exists: a null dereference makes the file system unmountable
+            (paper bug 13, Logic). *)
+    bug14_async_write : bool;
+        (** The pure-overwrite fast path returns without a fence: writes are
+            not synchronous (paper bugs 14/15, PM). *)
+    bug16_journal_oob : bool;
+        (** The journal valid flag is published with the unfenced records and
+            recovery skips validation: out-of-bounds accesses at recovery
+            (paper bug 16, Logic). *)
+    bug17_unflushed_tail : bool;
+        (** The data path never flushes cached unaligned tails: file data
+            lost (paper bugs 17/18, PM). *)
+  }
+
+  val none : t
+  val all : t
+  val to_jfs : t -> Jfs.bugs
+end
+
+type config = Jfs.config
+
+val default_config : config
+val config : ?bugs:Bugs.t -> ?n_pages:int -> ?n_inodes:int -> unit -> config
+
+val driver : ?config:config -> unit -> Vfs.Driver.t
+(** Strong consistency, non-atomic data writes. *)

@@ -1,0 +1,1 @@
+lib/splitfs/splitfs.ml: Usplit Vfs

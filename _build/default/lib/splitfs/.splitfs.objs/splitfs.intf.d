@@ -1,0 +1,1 @@
+lib/splitfs/splitfs.mli: Usplit Vfs

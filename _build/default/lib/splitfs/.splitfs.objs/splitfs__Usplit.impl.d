@@ -1,0 +1,1 @@
+lib/splitfs/usplit.ml: Array Buffer Bytes Char Cov Ext4dax Hashtbl Int32 List Option Persist Pmem Result String Vfs

@@ -1,0 +1,52 @@
+(** SplitFS: a hybrid user/kernel PM file system in strict mode.
+
+    The user-space component ({!Usplit}) stages data writes into a
+    pre-allocated file with mmap-style non-temporal stores and records every
+    operation in a persistent operation log; the kernel component is the
+    {!Ext4dax} model. Strict mode makes every operation synchronous and
+    atomic even though the kernel alone is only fsync-consistent — which is
+    exactly the machinery the paper's five SplitFS bugs (21-25) break. *)
+
+module Usplit = Usplit
+module Bugs = struct
+  type t = Usplit.bugs = {
+    bug21_unfenced_metadata_log : bool;
+    bug22_unfenced_staging_data : bool;
+    bug23_entry_before_data : bool;
+    bug24_boundary_entry_unfenced : bool;
+    bug25_rename_two_entries : bool;
+  }
+
+  let none = Usplit.no_bugs
+
+  let all =
+    {
+      bug21_unfenced_metadata_log = true;
+      bug22_unfenced_staging_data = true;
+      bug23_entry_before_data = true;
+      bug24_boundary_entry_unfenced = true;
+      bug25_rename_two_entries = true;
+    }
+end
+
+type config = Usplit.config
+
+let default_config = Usplit.default_config
+
+let config ?(bugs = Bugs.none) ?(log_pages = default_config.Usplit.log_pages)
+    ?(staging_pages = default_config.Usplit.staging_pages) () =
+  { default_config with Usplit.log_pages; staging_pages; bugs }
+
+let driver ?(config = default_config) () =
+  {
+    Vfs.Driver.name = "splitfs";
+    consistency = Vfs.Driver.Strong;
+    atomic_data = true;
+    device_size = Usplit.device_size config;
+    mkfs = (fun pm -> Usplit.handle (Usplit.mkfs pm config));
+    mount =
+      (fun pm ->
+        match Usplit.mount pm config with
+        | Ok t -> Ok (Usplit.handle t)
+        | Error e -> Error e);
+  }

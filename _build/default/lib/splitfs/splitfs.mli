@@ -1,0 +1,47 @@
+(** SplitFS: a hybrid user/kernel PM file system in strict mode.
+
+    The user-space component ({!Usplit}) stages data writes into a
+    pre-allocated staging file with mmap-style non-temporal stores and
+    records every operation in a persistent, bank-switched operation log;
+    the kernel component is the {!Ext4dax} model, extended with the relink
+    ioctl. Recovery mounts the kernel file system and replays the log over
+    it, which is how strict mode delivers synchronous, atomic operations on
+    top of a merely fsync-consistent kernel — and where all five of the
+    paper's SplitFS bugs live. *)
+
+module Usplit = Usplit
+(** The full user-space implementation, exposed for white-box tests. *)
+
+(** The paper's SplitFS bug corpus as injectable switches (all default
+    off). *)
+module Bugs : sig
+  type t = Usplit.bugs = {
+    bug21_unfenced_metadata_log : bool;
+        (** Metadata ops return before their log entry is fenced: operations
+            are not synchronous (paper bug 21, Logic). *)
+    bug22_unfenced_staging_data : bool;
+        (** Staged bytes are never fenced; relink publishes extents whose
+            data may still be in flight: file data lost (paper bug 22,
+            Logic). *)
+    bug23_entry_before_data : bool;
+        (** The write log entry is persisted before the staged bytes; replay
+            zero-fills: file data lost (paper bug 23, Logic). *)
+    bug24_boundary_entry_unfenced : bool;
+        (** Entries straddling a log page boundary skip their fence:
+            operations are not synchronous (paper bug 24, Logic). *)
+    bug25_rename_two_entries : bool;
+        (** rename is logged as two separately-fenced entries; replay after
+            a crash between them leaves both names (paper bug 25, Logic). *)
+  }
+
+  val none : t
+  val all : t
+end
+
+type config = Usplit.config
+
+val default_config : config
+val config : ?bugs:Bugs.t -> ?log_pages:int -> ?staging_pages:int -> unit -> config
+
+val driver : ?config:config -> unit -> Vfs.Driver.t
+(** Strong consistency with atomic data writes (strict mode). *)

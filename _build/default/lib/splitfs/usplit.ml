@@ -1,0 +1,970 @@
+(** The SplitFS user-space component ("U-split", strict mode).
+
+    SplitFS splits responsibilities: a kernel file system (our
+    {!Ext4dax}) owns metadata, while the user-space library handles file
+    data by staging writes into a pre-allocated staging file with
+    non-temporal (mmap-style) stores and later {e relinking} the staged
+    blocks into the target file without a copy. To give strict-mode
+    guarantees on top of a weak kernel FS, every operation is recorded in a
+    persistent {e operation log} before the syscall returns; recovery
+    replays the log over the recovered kernel state (paper section 2,
+    SplitFS; all five SplitFS bugs in the paper live in this logging
+    machinery).
+
+    Layout added after the kernel file system's pages:
+    one header page (active-bank byte) followed by two log banks. The log
+    is compacted into the inactive bank at every kernel commit point and
+    the active-bank byte is flipped atomically, so the log always holds
+    exactly the operations since the last kernel commit. *)
+
+module Types = Vfs.Types
+module Errno = Vfs.Errno
+module Pm = Persist.Pm
+module Kfs = Ext4dax.Fs
+
+let ( let* ) = Result.bind
+
+type bugs = {
+  bug21_unfenced_metadata_log : bool;
+      (** Metadata ops return before their log entry is fenced. *)
+  bug22_unfenced_staging_data : bool;
+      (** Staged data is never fenced; relink publishes extents whose bytes
+          may still be in flight. *)
+  bug23_entry_before_data : bool;
+      (** The write log entry is persisted before the staged bytes. *)
+  bug24_boundary_entry_unfenced : bool;
+      (** Entries straddling a log page boundary skip their fence. *)
+  bug25_rename_two_entries : bool;
+      (** rename is logged as two independent entries (add + delete). *)
+}
+
+let no_bugs =
+  {
+    bug21_unfenced_metadata_log = false;
+    bug22_unfenced_staging_data = false;
+    bug23_entry_before_data = false;
+    bug24_boundary_entry_unfenced = false;
+    bug25_rename_two_entries = false;
+  }
+
+type config = {
+  kernel : Ext4dax.Fs.config;
+  log_pages : int;  (** per bank *)
+  staging_pages : int;
+  bugs : bugs;
+}
+
+let default_config =
+  {
+    kernel = { Ext4dax.Fs.default_config with Ext4dax.Fs.fs_name = "splitfs-kernel" };
+    log_pages = 8;
+    staging_pages = 24;
+    bugs = no_bugs;
+  }
+
+let device_size cfg =
+  let psz = cfg.kernel.Kfs.page_size in
+  (cfg.kernel.Kfs.n_pages + 1 + (2 * cfg.log_pages)) * psz
+
+let staging_path = "/.staging"
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+
+type extent = { foff : int; xlen : int; soff : int }
+
+type overlay = {
+  mutable osize : int;  (** authoritative file size (staged view) *)
+  mutable extents : extent list;  (** oldest first *)
+}
+
+(* Locate the (first) path of an inode in the kernel namespace; used when
+   the log is compacted, where entries must name paths valid at the new
+   commit cut. Orphans have no path and their staged data is unreplayable
+   by design. *)
+let rec path_of_ino_in kfs ~dir ~prefix ino =
+  match Ext4dax.Fs.get kfs dir with
+  | Error _ -> None
+  | Ok d ->
+    Hashtbl.fold
+      (fun name target acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          let path = if prefix = "/" then "/" ^ name else prefix ^ "/" ^ name in
+          if target = ino then Some path
+          else
+            match Ext4dax.Fs.get kfs target with
+            | Ok n when n.Ext4dax.Fs.kind = Vfs.Types.Dir ->
+              path_of_ino_in kfs ~dir:target ~prefix:path ino
+            | _ -> None)
+      d.Ext4dax.Fs.dentries None
+
+type fd_info = { path : string; ino : int; flags : Types.open_flag list }
+
+type t = {
+  pm : Pm.t;
+  cfg : config;
+  kfs : Kfs.t;
+  kh : Vfs.Handle.t;
+  log_header : int;  (** byte offset of the active-bank byte *)
+  banks : int array;  (** byte offsets of bank 0 / bank 1 *)
+  bank_size : int;
+  mutable active : int;
+  mutable log_used : int;
+  staging_ino : int;
+  mutable staging_used : int;  (** bytes consumed in the staging file *)
+  overlays : (int, overlay) Hashtbl.t;  (** kernel ino -> staged view *)
+  fds : (int, fd_info) Hashtbl.t;
+  bugs : bugs;
+}
+
+let kpsz t = t.cfg.kernel.Kfs.page_size
+let staging_cap t = t.cfg.staging_pages * kpsz t
+
+let kino t path =
+  match t.kh.Vfs.Handle.stat ~path with Ok st -> Some st.Types.st_ino | Error _ -> None
+
+let overlay t ino = Hashtbl.find_opt t.overlays ino
+
+let overlay_or_create t ino ~ksize =
+  match overlay t ino with
+  | Some o -> o
+  | None ->
+    let o = { osize = ksize; extents = [] } in
+    Hashtbl.replace t.overlays ino o;
+    o
+
+(* ------------------------------------------------------------------ *)
+(* Operation log                                                       *)
+
+(* Entry: [0] type u8, [1-2] len u16, [3-6] csum u32, payload. *)
+
+type entry =
+  | E_creat of string
+  | E_mkdir of string
+  | E_unlink of string
+  | E_rmdir of string
+  | E_link of string * string
+  | E_rename of string * string
+  | E_rename_add of string * string  (* bug 25 *)
+  | E_rename_del of string  (* bug 25 *)
+  | E_truncate of string * int
+  | E_fallocate of string * int * int * bool
+  | E_write of { path : string; foff : int; len : int; soff : int }
+      (** Paths, not inode numbers: entries are replayed in order from the
+          last kernel commit, so the path is interpreted exactly in the
+          state where the operation originally ran. Inode numbers are not
+          stable across recovery (open descriptors pin inodes in the
+          original execution but not during replay). *)
+
+let type_code = function
+  | E_creat _ -> 1
+  | E_mkdir _ -> 2
+  | E_unlink _ -> 3
+  | E_rmdir _ -> 4
+  | E_link _ -> 5
+  | E_rename _ -> 6
+  | E_rename_add _ -> 7
+  | E_rename_del _ -> 8
+  | E_truncate _ -> 9
+  | E_fallocate _ -> 10
+  | E_write _ -> 11
+
+let put_str buf s =
+  Buffer.add_char buf (Char.chr (String.length s));
+  Buffer.add_string buf s
+
+let put_u32 buf v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  Buffer.add_bytes buf b
+
+let encode_entry e =
+  let payload = Buffer.create 32 in
+  (match e with
+  | E_creat p | E_mkdir p | E_unlink p | E_rmdir p | E_rename_del p -> put_str payload p
+  | E_link (s, d) | E_rename (s, d) | E_rename_add (s, d) ->
+    put_str payload s;
+    put_str payload d
+  | E_truncate (p, n) ->
+    put_str payload p;
+    put_u32 payload n
+  | E_fallocate (p, off, len, keep) ->
+    put_str payload p;
+    put_u32 payload off;
+    put_u32 payload len;
+    Buffer.add_char payload (if keep then '\001' else '\000')
+  | E_write { path; foff; len; soff } ->
+    put_str payload path;
+    put_u32 payload foff;
+    put_u32 payload len;
+    put_u32 payload soff);
+  let payload = Buffer.contents payload in
+  let total = 7 + String.length payload in
+  let b = Bytes.make total '\000' in
+  Bytes.set b 0 (Char.chr (type_code e));
+  Bytes.set_uint16_le b 1 total;
+  Bytes.blit_string payload 0 b 7 (String.length payload);
+  let csum = Pmem.Checksum.crc32 (Bytes.to_string b) in
+  Bytes.set_int32_le b 3 (Int32.of_int csum);
+  Bytes.to_string b
+
+let get_u32 s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let decode_entry raw pos =
+  if pos + 7 > String.length raw then None
+  else
+    let etype = Char.code raw.[pos] in
+    if etype = 0 then None
+    else
+      let total = Char.code raw.[pos + 1] lor (Char.code raw.[pos + 2] lsl 8) in
+      if total < 7 || pos + total > String.length raw then None
+      else begin
+        let body = Bytes.of_string (String.sub raw pos total) in
+        let recorded = get_u32 (Bytes.to_string body) 3 in
+        Bytes.set_int32_le body 3 0l;
+        if Pmem.Checksum.crc32 (Bytes.to_string body) <> recorded then None
+        else begin
+          let s = String.sub raw pos total in
+          let gstr off =
+            let n = Char.code s.[off] in
+            (String.sub s (off + 1) n, off + 1 + n)
+          in
+          let entry =
+            match etype with
+            | 1 -> Some (E_creat (fst (gstr 7)))
+            | 2 -> Some (E_mkdir (fst (gstr 7)))
+            | 3 -> Some (E_unlink (fst (gstr 7)))
+            | 4 -> Some (E_rmdir (fst (gstr 7)))
+            | 8 -> Some (E_rename_del (fst (gstr 7)))
+            | 5 | 6 | 7 ->
+              let a, off = gstr 7 in
+              let b, _ = gstr off in
+              Some
+                (match etype with
+                | 5 -> E_link (a, b)
+                | 6 -> E_rename (a, b)
+                | _ -> E_rename_add (a, b))
+            | 9 ->
+              let p, off = gstr 7 in
+              Some (E_truncate (p, get_u32 s off))
+            | 10 ->
+              let p, off = gstr 7 in
+              Some
+                (E_fallocate (p, get_u32 s off, get_u32 s (off + 4), s.[off + 8] <> '\000'))
+            | 11 ->
+              let p, off = gstr 7 in
+              Some
+                (E_write
+                   {
+                     path = p;
+                     foff = get_u32 s off;
+                     len = get_u32 s (off + 4);
+                     soff = get_u32 s (off + 8);
+                   })
+            | _ -> None
+          in
+          Option.map (fun e -> (e, total)) entry
+        end
+      end
+
+(* Append an entry to the active bank. [fence_entry] is the crash-
+   consistency linchpin the SplitFS bugs chip away at. *)
+let append_entry t e ~metadata =
+  let bytes = encode_entry e in
+  let len = String.length bytes in
+  if t.log_used + len + 1 > t.bank_size then
+    (* The caller compacts at every commit point; overflowing both means the
+       workload outran the log. *)
+    Pmem.Fault.fail "splitfs: operation log full";
+  let addr = t.banks.(t.active) + t.log_used in
+  Pm.memcpy_nt t.pm ~off:addr bytes;
+  let crosses_page = addr / kpsz t <> (addr + len - 1) / kpsz t in
+  let skip_fence =
+    (metadata && t.bugs.bug21_unfenced_metadata_log)
+    || (crosses_page && t.bugs.bug24_boundary_entry_unfenced)
+  in
+  if skip_fence then Cov.mark "splitfs.log.unfenced" else Pm.fence t.pm;
+  t.log_used <- t.log_used + len
+
+(* ------------------------------------------------------------------ *)
+(* Staging                                                             *)
+
+(* Write [data] into the staging file starting at staging offset [soff]
+   with non-temporal stores through the DAX mapping. *)
+let staging_store t ~soff data =
+  let psz = kpsz t in
+  let len = String.length data in
+  let rec go pos =
+    if pos < len then begin
+      let abs = soff + pos in
+      let idx = abs / psz and in_page = abs mod psz in
+      let n = min (psz - in_page) (len - pos) in
+      (match Kfs.block_phys t.kfs ~ino:t.staging_ino ~idx with
+      | None -> Pmem.Fault.fail "splitfs: staging block %d unmapped" idx
+      | Some phys -> Pm.memcpy_nt t.pm ~off:(phys + in_page) (String.sub data pos n));
+      go (pos + n)
+    end
+  in
+  go 0
+
+let staging_read t ~soff ~len =
+  let psz = kpsz t in
+  let buf = Bytes.make len '\000' in
+  let rec go pos =
+    if pos < len then begin
+      let abs = soff + pos in
+      let idx = abs / psz and in_page = abs mod psz in
+      let n = min (psz - in_page) (len - pos) in
+      (match Kfs.block_phys t.kfs ~ino:t.staging_ino ~idx with
+      | None -> ()
+      | Some phys -> Bytes.blit_string (Pm.read t.pm ~off:(phys + in_page) ~len:n) 0 buf pos n);
+      go (pos + n)
+    end
+  in
+  go 0;
+  Bytes.to_string buf
+
+(* ------------------------------------------------------------------ *)
+(* Commit points: relink + kernel commit + log compaction              *)
+
+(* Re-serialize the pending overlay state into the inactive bank and flip
+   the active-bank byte atomically. Called immediately after a kernel
+   commit, so metadata entries are obsolete and only staged-write entries
+   survive. *)
+let compact_log t =
+  let target = 1 - t.active in
+  let buf = Buffer.create 128 in
+  Hashtbl.iter
+    (fun ino o ->
+      match path_of_ino_in t.kfs ~dir:Kfs.root_ino ~prefix:"/" ino with
+      | None -> () (* orphan: nothing post-crash could read it anyway *)
+      | Some path ->
+        List.iter
+          (fun x ->
+            Buffer.add_string buf
+              (encode_entry (E_write { path; foff = x.foff; len = x.xlen; soff = x.soff })))
+          o.extents)
+    t.overlays;
+  let body = Buffer.contents buf in
+  if String.length body + 1 > t.bank_size then Pmem.Fault.fail "splitfs: compacted log overflow";
+  (* Zero the tail so the scanner stops cleanly, then flip. *)
+  Pm.memcpy_nt t.pm ~off:t.banks.(target) body;
+  Pm.memset_nt t.pm
+    ~off:(t.banks.(target) + String.length body)
+    ~len:(t.bank_size - String.length body)
+    '\000';
+  Pm.fence t.pm;
+  Pm.memcpy_nt t.pm ~off:t.log_header (String.make 1 (Char.chr target));
+  Pm.fence t.pm;
+  t.active <- target;
+  t.log_used <- String.length body
+
+(* Relink (or copy) the staged extents of [ino] into the kernel file, then
+   commit kernel metadata and compact the log. *)
+let sync_file t ino =
+  Cov.mark "splitfs.fsync";
+  let psz = kpsz t in
+  (match overlay t ino with
+  | None -> ()
+  | Some o ->
+    List.iter
+      (fun x ->
+        let block_aligned = x.foff mod psz = 0 && x.soff mod psz = 0 in
+        if block_aligned then begin
+          Cov.mark "splitfs.relink";
+          let n = (x.xlen + psz - 1) / psz in
+          match
+            Kfs.relink t.kfs ~src:t.staging_ino ~src_idx:(x.soff / psz) ~dst:ino
+              ~dst_idx:(x.foff / psz) ~n ~dst_size:(min o.osize (x.foff + x.xlen))
+          with
+          | Ok () -> ()
+          | Error _ -> Pmem.Fault.fail "splitfs: relink failed"
+        end
+        else begin
+          (* Unaligned extents take the copy path through the kernel. *)
+          Cov.mark "splitfs.copy_path";
+          let data = staging_read t ~soff:x.soff ~len:x.xlen in
+          match Kfs.write t.kfs ~ino ~off:x.foff ~data with
+          | Ok _ -> ()
+          | Error _ -> Pmem.Fault.fail "splitfs: copy-back failed"
+        end)
+      o.extents;
+    (* The staged view may extend past what extents alone imply (e.g. a
+       truncate up); make the kernel size match the overlay. *)
+    (match Kfs.get t.kfs ino with
+    | Ok f when f.Kfs.size <> o.osize -> ignore (Kfs.truncate t.kfs ~ino ~size:o.osize)
+    | _ -> ());
+    Hashtbl.remove t.overlays ino);
+  (match Kfs.fsync t.kfs ~ino with Ok () -> () | Error _ -> ());
+  compact_log t
+
+let sync_all t =
+  let inos = Hashtbl.fold (fun ino _ acc -> ino :: acc) t.overlays [] in
+  List.iter
+    (fun ino -> if Result.is_ok (Kfs.get t.kfs ino) then sync_file t ino else Hashtbl.remove t.overlays ino)
+    inos;
+  Kfs.sync t.kfs;
+  compact_log t
+
+(* Reset the staging file: re-fallocate to full size (it loses blocks to
+   relinks) and persist the fresh mapping. *)
+let reset_staging t =
+  (match Kfs.truncate t.kfs ~ino:t.staging_ino ~size:0 with Ok () -> () | Error _ -> ());
+  (match
+     Kfs.fallocate t.kfs ~ino:t.staging_ino ~off:0 ~len:(staging_cap t) ~keep_size:false
+   with
+  | Ok () -> ()
+  | Error _ -> Pmem.Fault.fail "splitfs: cannot re-provision staging");
+  (match Kfs.fsync t.kfs ~ino:t.staging_ino with Ok () -> () | Error _ -> ());
+  compact_log t;
+  t.staging_used <- 0
+
+(* Allocate staging space (block aligned). Exhaustion forces a full sync,
+   which relinks everything away and lets us re-provision. *)
+let salloc t len =
+  let psz = kpsz t in
+  let need = (len + psz - 1) / psz * psz in
+  if t.staging_used + need > staging_cap t then begin
+    sync_all t;
+    reset_staging t
+  end;
+  if t.staging_used + need > staging_cap t then Error Errno.ENOSPC
+  else begin
+    let soff = t.staging_used in
+    t.staging_used <- t.staging_used + need;
+    Ok soff
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Staged write                                                        *)
+
+let staged_pwrite t ~ino ~path ~off ~data =
+  let len = String.length data in
+  let* soff = salloc t len in
+  let o =
+    let ksize = match Kfs.get t.kfs ino with Ok f -> f.Kfs.size | Error _ -> 0 in
+    overlay_or_create t ino ~ksize
+  in
+  (* The descriptor's recorded path can go stale (rename of an enclosing
+     directory, or an overwrite-rename orphaning the inode). Log under the
+     inode's *current* path; a true orphan gets no entry at all — nothing
+     post-crash could reach its data, and replaying under a stale name
+     would clobber whichever file owns that name now. *)
+  let current_path =
+    if kino t path = Some ino then Some path
+    else path_of_ino_in t.kfs ~dir:Kfs.root_ino ~prefix:"/" ino
+  in
+  let entry =
+    Option.map (fun p -> E_write { path = p; foff = off; len; soff }) current_path
+  in
+  let log_entry () = Option.iter (fun e -> append_entry t e ~metadata:false) entry in
+  if t.bugs.bug23_entry_before_data then begin
+    (* Bug 23: the log entry (with its length) is persisted before the
+       staged bytes; replay can only zero-fill. *)
+    Cov.mark "splitfs.bug23";
+    log_entry ();
+    staging_store t ~soff data;
+    Pm.fence t.pm
+  end
+  else if t.bugs.bug22_unfenced_staging_data then begin
+    (* Bug 22: staged bytes are written but never fenced; a later relink
+       publishes extents whose data may not have reached media. *)
+    Cov.mark "splitfs.bug22";
+    staging_store t ~soff data;
+    log_entry ()
+  end
+  else begin
+    staging_store t ~soff data;
+    Pm.fence t.pm;
+    log_entry ()
+  end;
+  o.extents <- o.extents @ [ { foff = off; xlen = len; soff } ];
+  if off + len > o.osize then o.osize <- off + len;
+  Ok len
+
+(* Assemble file content through the staged overlay. *)
+let overlay_read t ~ino ~off ~len =
+  match overlay t ino with
+  | None -> (
+    match Kfs.read t.kfs ~ino ~off ~len with Ok s -> s | Error _ -> String.make len '\000')
+  | Some o ->
+    let buf = Bytes.make len '\000' in
+    (match Kfs.get t.kfs ino with
+    | Error _ -> ()
+    | Ok f ->
+      let kavail = max 0 (min len (f.Kfs.size - off)) in
+      if kavail > 0 then (
+        match Kfs.read t.kfs ~ino ~off ~len:kavail with
+        | Ok s -> Bytes.blit_string s 0 buf 0 kavail
+        | Error _ -> ()));
+    List.iter
+      (fun x ->
+        let s = max off x.foff and e = min (off + len) (x.foff + x.xlen) in
+        if s < e then
+          Bytes.blit_string (staging_read t ~soff:(x.soff + s - x.foff) ~len:(e - s)) 0 buf
+            (s - off) (e - s))
+      o.extents;
+    Bytes.to_string buf
+
+let file_size t ino =
+  match overlay t ino with
+  | Some o -> o.osize
+  | None -> ( match Kfs.get t.kfs ino with Ok f -> f.Kfs.size | Error _ -> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Overlay bookkeeping for namespace changes                           *)
+
+(* The staged overlay of a name about to disappear must only be dropped
+   once the kernel operation actually succeeds — and not while any open
+   descriptor still references the inode (orphan files stay readable and
+   writable through their descriptors; {!close} reaps the overlay when the
+   kernel reclaims the inode). *)
+let doomed_overlay t path =
+  match t.kh.Vfs.Handle.stat ~path with
+  | Ok st when st.Types.st_nlink <= 1 && st.Types.st_kind = Types.Reg ->
+    let still_open =
+      Hashtbl.fold (fun _ info acc -> acc || info.ino = st.Types.st_ino) t.fds false
+    in
+    if still_open then None else Some st.Types.st_ino
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The intercepted POSIX surface                                       *)
+
+let hidden path = path = staging_path
+
+let log_metadata t e =
+  append_entry t e ~metadata:true
+
+(* creat = O_CREAT|O_TRUNC|O_WRONLY: log what actually happened. *)
+let creat t ~path =
+  if hidden path then Error Errno.EPERM
+  else begin
+    let existed = Result.is_ok (t.kh.Vfs.Handle.stat ~path) in
+    let* fd = t.kh.Vfs.Handle.creat ~path in
+    (if existed then begin
+       log_metadata t (E_truncate (path, 0));
+       match kino t path with
+       | Some ino -> Hashtbl.remove t.overlays ino
+       | None -> ()
+     end
+     else log_metadata t (E_creat path));
+    let* st = t.kh.Vfs.Handle.fstat ~fd in
+    if not existed then Hashtbl.remove t.overlays st.Types.st_ino;
+    Hashtbl.replace t.fds fd { path; ino = st.Types.st_ino; flags = [ Types.O_WRONLY ] };
+    Ok fd
+  end
+
+let open_ t ~path ~flags =
+  if hidden path then Error Errno.EPERM
+  else begin
+    let existed = Result.is_ok (t.kh.Vfs.Handle.stat ~path) in
+    let* fd = t.kh.Vfs.Handle.open_ ~path ~flags in
+    (if List.mem Types.O_CREAT flags && not existed then log_metadata t (E_creat path));
+    (if List.mem Types.O_TRUNC flags && existed && Types.writable flags then begin
+       log_metadata t (E_truncate (path, 0));
+       match kino t path with
+       | Some ino -> Hashtbl.remove t.overlays ino
+       | None -> ()
+     end);
+    let* st = t.kh.Vfs.Handle.fstat ~fd in
+    if List.mem Types.O_CREAT flags && not existed then Hashtbl.remove t.overlays st.Types.st_ino;
+    Hashtbl.replace t.fds fd { path; ino = st.Types.st_ino; flags };
+    Ok fd
+  end
+
+let close t ~fd =
+  let info = Hashtbl.find_opt t.fds fd in
+  let* () = t.kh.Vfs.Handle.close ~fd in
+  Hashtbl.remove t.fds fd;
+  (* Closing the last descriptor of an orphaned file reclaims its kernel
+     inode; the overlay must not survive to haunt a reused inode number. *)
+  (match info with
+  | Some { ino; _ } when Result.is_error (Kfs.get t.kfs ino) -> Hashtbl.remove t.overlays ino
+  | _ -> ());
+  Ok ()
+
+let fd_info t fd =
+  match Hashtbl.find_opt t.fds fd with Some i -> Ok i | None -> Error Errno.EBADF
+
+let fd_ino t fd =
+  let* info = fd_info t fd in
+  Ok (info, info.ino)
+
+let mkdir t ~path =
+  if hidden path then Error Errno.EPERM
+  else
+    let* () = t.kh.Vfs.Handle.mkdir ~path in
+    log_metadata t (E_mkdir path);
+    Ok ()
+
+let unlink t ~path =
+  if hidden path then Error Errno.ENOENT
+  else begin
+    let doomed = doomed_overlay t path in
+    let* () = t.kh.Vfs.Handle.unlink ~path in
+    log_metadata t (E_unlink path);
+    Option.iter (Hashtbl.remove t.overlays) doomed;
+    Ok ()
+  end
+
+let rmdir t ~path =
+  if hidden path then Error Errno.ENOENT
+  else
+    let* () = t.kh.Vfs.Handle.rmdir ~path in
+    log_metadata t (E_rmdir path);
+    Ok ()
+
+let link t ~src ~dst =
+  if hidden src || hidden dst then Error Errno.EPERM
+  else
+    let* () = t.kh.Vfs.Handle.link ~src ~dst in
+    log_metadata t (E_link (src, dst));
+    Ok ()
+
+let rename t ~src ~dst =
+  if hidden src || hidden dst then Error Errno.EPERM
+  else begin
+    let src_kind =
+      match t.kh.Vfs.Handle.stat ~path:src with
+      | Ok st -> Some st.Types.st_kind
+      | Error _ -> None
+    in
+    (* Renaming onto the same inode (self-rename or a hard link of the
+       source) is a POSIX no-op: nothing is doomed. *)
+    let doomed =
+      match (doomed_overlay t dst, kino t src) with
+      | Some dino, Some sino when dino <> sino -> Some dino
+      | Some dino, None -> Some dino
+      | _ -> None
+    in
+    let* () = t.kh.Vfs.Handle.rename ~src ~dst in
+    Option.iter (Hashtbl.remove t.overlays) doomed;
+    if t.bugs.bug25_rename_two_entries && src_kind = Some Types.Reg then begin
+      (* Bug 25: rename is logged as two separately-fenced entries; replay
+         after a crash between them leaves both names. *)
+      Cov.mark "splitfs.bug25";
+      log_metadata t (E_rename_add (src, dst));
+      log_metadata t (E_rename_del src)
+    end
+    else log_metadata t (E_rename (src, dst));
+    (* Descriptors follow the rename. *)
+    Hashtbl.iter
+      (fun fd info -> if info.path = src then Hashtbl.replace t.fds fd { info with path = dst })
+      (Hashtbl.copy t.fds);
+    Ok ()
+  end
+
+let truncate t ~path ~size =
+  if hidden path then Error Errno.ENOENT
+  else if size < 0 then Error Errno.EINVAL
+  else begin
+    match t.kh.Vfs.Handle.stat ~path with
+    | Error e -> Error e
+    | Ok st when st.Types.st_kind <> Types.Reg -> Error Errno.EISDIR
+    | Ok st ->
+      let ino = st.Types.st_ino in
+      let* () = t.kh.Vfs.Handle.truncate ~path ~size in
+      log_metadata t (E_truncate (path, size));
+      (match overlay t ino with
+      | None -> ()
+      | Some o ->
+        o.extents <-
+          List.filter_map
+            (fun x ->
+              if x.foff >= size then None
+              else if x.foff + x.xlen > size then Some { x with xlen = size - x.foff }
+              else Some x)
+            o.extents;
+        o.osize <- size);
+      Ok ()
+  end
+
+let write_common t fd ~off ~data =
+  let* info, ino = fd_ino t fd in
+  if not (Types.writable info.flags) && info.flags <> [ Types.O_WRONLY ] then Error Errno.EBADF
+  else staged_pwrite t ~ino ~path:info.path ~off ~data
+
+let write t ~fd ~data =
+  let* info, ino = fd_ino t fd in
+  ignore info;
+  let* off =
+    if List.mem Types.O_APPEND info.flags then Ok (file_size t ino)
+    else t.kh.Vfs.Handle.lseek ~fd ~off:0 ~whence:Types.SEEK_CUR
+  in
+  let* n = write_common t fd ~off ~data in
+  let* _ = t.kh.Vfs.Handle.lseek ~fd ~off:(off + n) ~whence:Types.SEEK_SET in
+  Ok n
+
+let pwrite t ~fd ~off ~data =
+  if off < 0 then Error Errno.EINVAL else write_common t fd ~off ~data
+
+let read_common t fd ~off ~len =
+  let* _info, ino = fd_ino t fd in
+  let size = file_size t ino in
+  let len = max 0 (min len (size - off)) in
+  if len = 0 then Ok "" else Ok (overlay_read t ~ino ~off ~len)
+
+let read t ~fd ~len =
+  let* off = t.kh.Vfs.Handle.lseek ~fd ~off:0 ~whence:Types.SEEK_CUR in
+  let* s = read_common t fd ~off ~len in
+  let* _ = t.kh.Vfs.Handle.lseek ~fd ~off:(off + String.length s) ~whence:Types.SEEK_SET in
+  Ok s
+
+let pread t ~fd ~off ~len =
+  if off < 0 then Error Errno.EINVAL else read_common t fd ~off ~len
+
+let lseek t ~fd ~off ~whence =
+  match whence with
+  | Types.SEEK_END ->
+    let* _info, ino = fd_ino t fd in
+    t.kh.Vfs.Handle.lseek ~fd ~off:(file_size t ino + off) ~whence:Types.SEEK_SET
+  | Types.SEEK_SET | Types.SEEK_CUR -> t.kh.Vfs.Handle.lseek ~fd ~off ~whence
+
+let fallocate t ~fd ~off ~len ~keep_size =
+  let* info, ino = fd_ino t fd in
+  let* () = t.kh.Vfs.Handle.fallocate ~fd ~off ~len ~keep_size in
+  (* Same staleness rule as staged writes: log under the inode's current
+     path; an orphaned descriptor's allocation is unreachable after a crash
+     and must not be replayed under whatever file now owns the old name. *)
+  let current_path =
+    if kino t info.path = Some ino then Some info.path
+    else path_of_ino_in t.kfs ~dir:Kfs.root_ino ~prefix:"/" ino
+  in
+  Option.iter (fun p -> log_metadata t (E_fallocate (p, off, len, keep_size))) current_path;
+  (match overlay t ino with
+  | Some o when (not keep_size) && off + len > o.osize -> o.osize <- off + len
+  | _ -> ());
+  Ok ()
+
+let fsync t ~fd =
+  let* _info, ino = fd_ino t fd in
+  sync_file t ino;
+  Ok ()
+
+let sync t () = sync_all t
+
+let stat t ~path =
+  if hidden path then Error Errno.ENOENT
+  else
+    let* st = t.kh.Vfs.Handle.stat ~path in
+    if st.Types.st_kind = Types.Reg then
+      Ok { st with Types.st_size = file_size t st.Types.st_ino }
+    else Ok st
+
+let fstat t ~fd =
+  let* st = t.kh.Vfs.Handle.fstat ~fd in
+  if st.Types.st_kind = Types.Reg then Ok { st with Types.st_size = file_size t st.Types.st_ino }
+  else Ok st
+
+let readdir t ~path =
+  let* entries = t.kh.Vfs.Handle.readdir ~path in
+  Ok
+    (List.filter
+       (fun d -> not (path = "/" && "/" ^ d.Types.d_name = staging_path))
+       entries)
+
+let read_file t ~path =
+  if hidden path then Error Errno.ENOENT
+  else
+    let* st = stat t ~path in
+    if st.Types.st_kind <> Types.Reg then Error Errno.EISDIR
+    else if st.Types.st_size = 0 then Ok ""
+    else Ok (overlay_read t ~ino:st.Types.st_ino ~off:0 ~len:st.Types.st_size)
+
+let remove t ~path =
+  let* st = stat t ~path in
+  match st.Types.st_kind with
+  | Types.Dir -> rmdir t ~path
+  | Types.Reg -> unlink t ~path
+
+let handle t =
+  {
+    Vfs.Handle.name = "splitfs";
+    creat = (fun ~path -> creat t ~path);
+    open_ = (fun ~path ~flags -> open_ t ~path ~flags);
+    close = (fun ~fd -> close t ~fd);
+    mkdir = (fun ~path -> mkdir t ~path);
+    rmdir = (fun ~path -> rmdir t ~path);
+    link = (fun ~src ~dst -> link t ~src ~dst);
+    unlink = (fun ~path -> unlink t ~path);
+    remove = (fun ~path -> remove t ~path);
+    rename = (fun ~src ~dst -> rename t ~src ~dst);
+    truncate = (fun ~path ~size -> truncate t ~path ~size);
+    write = (fun ~fd ~data -> write t ~fd ~data);
+    pwrite = (fun ~fd ~off ~data -> pwrite t ~fd ~off ~data);
+    read = (fun ~fd ~len -> read t ~fd ~len);
+    pread = (fun ~fd ~off ~len -> pread t ~fd ~off ~len);
+    lseek = (fun ~fd ~off ~whence -> lseek t ~fd ~off ~whence);
+    fallocate = (fun ~fd ~off ~len ~keep_size -> fallocate t ~fd ~off ~len ~keep_size);
+    fsync = (fun ~fd -> fsync t ~fd);
+    fdatasync = (fun ~fd -> fsync t ~fd);
+    sync = sync t;
+    stat = (fun ~path -> stat t ~path);
+    fstat = (fun ~fd -> fstat t ~fd);
+    readdir = (fun ~path -> readdir t ~path);
+    read_file = (fun ~path -> read_file t ~path);
+    (* Extended attributes are metadata ops SplitFS does not intercept or
+       log; supporting them soundly would need op-log entries, so the model
+       rejects them (the paper's SplitFS tests exclude them too). *)
+    setxattr = (fun ~path:_ ~name:_ ~value:_ -> Error Errno.ENOTSUP);
+    getxattr = (fun ~path:_ ~name:_ -> Error Errno.ENOTSUP);
+    listxattr = (fun ~path:_ -> Error Errno.ENOTSUP);
+    removexattr = (fun ~path:_ ~name:_ -> Error Errno.ENOTSUP);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* mkfs                                                                *)
+
+module KP = Vfs.Posix.Make (Kfs)
+
+let make_state pm cfg kfs =
+  let psz = cfg.kernel.Kfs.page_size in
+  let header = cfg.kernel.Kfs.n_pages * psz in
+  let bank_size = cfg.log_pages * psz in
+  let kh = KP.handle (KP.init kfs) in
+  let staging_ino =
+    match kh.Vfs.Handle.stat ~path:staging_path with
+    | Ok st -> st.Types.st_ino
+    | Error _ -> Pmem.Fault.fail "splitfs: staging file missing"
+  in
+  {
+    pm;
+    cfg;
+    kfs;
+    kh;
+    log_header = header;
+    banks = [| header + psz; header + psz + bank_size |];
+    bank_size;
+    active = Pm.read_u8 pm ~off:header;
+    log_used = 0;
+    staging_ino;
+    staging_used = 0;
+    overlays = Hashtbl.create 8;
+    fds = Hashtbl.create 8;
+    bugs = cfg.bugs;
+  }
+
+let mkfs pm cfg =
+  if Pm.size pm < device_size cfg then
+    Pmem.Fault.fail "splitfs mkfs: device too small (%d < %d)" (Pm.size pm) (device_size cfg);
+  let kfs = Kfs.mkfs pm cfg.kernel in
+  (* Provision the staging file and persist its mapping. *)
+  (match Kfs.create kfs ~dir:Kfs.root_ino ~name:".staging" with
+  | Ok ino -> (
+    match Kfs.fallocate kfs ~ino ~off:0 ~len:(cfg.staging_pages * cfg.kernel.Kfs.page_size)
+            ~keep_size:false with
+    | Ok () -> ( match Kfs.fsync kfs ~ino with Ok () -> () | Error _ -> ())
+    | Error _ -> Pmem.Fault.fail "splitfs mkfs: cannot provision staging")
+  | Error _ -> Pmem.Fault.fail "splitfs mkfs: cannot create staging");
+  Kfs.sync kfs;
+  (* Zero the log region. *)
+  let psz = cfg.kernel.Kfs.page_size in
+  let header = cfg.kernel.Kfs.n_pages * psz in
+  Pm.memset_nt pm ~off:header ~len:((1 + (2 * cfg.log_pages)) * psz) '\000';
+  Pm.fence pm;
+  make_state pm cfg kfs
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+
+(* Replay one logged operation over the recovered kernel state. The log
+   holds exactly the operations since the last kernel commit, replayed in
+   order from that consistent cut, so each operation's preconditions hold;
+   benign failures (e.g. an entry racing a crashed half-applied state) are
+   skipped. *)
+let replay_entry t e =
+  let kh = t.kh in
+  let exists p = Result.is_ok (kh.Vfs.Handle.stat ~path:p) in
+  match e with
+  | E_creat p ->
+    if not (exists p) then (
+      match kh.Vfs.Handle.creat ~path:p with
+      | Ok fd -> ignore (kh.Vfs.Handle.close ~fd)
+      | Error _ -> ())
+  | E_mkdir p -> if not (exists p) then ignore (kh.Vfs.Handle.mkdir ~path:p)
+  | E_unlink p -> if exists p then ignore (kh.Vfs.Handle.unlink ~path:p)
+  | E_rmdir p -> if exists p then ignore (kh.Vfs.Handle.rmdir ~path:p)
+  | E_link (s, d) -> if exists s && not (exists d) then ignore (kh.Vfs.Handle.link ~src:s ~dst:d)
+  | E_rename (s, d) -> if exists s then ignore (kh.Vfs.Handle.rename ~src:s ~dst:d)
+  | E_rename_add (s, d) ->
+    (* Bug-25 form: make the destination name point at the source inode. *)
+    if exists s then begin
+      if exists d then ignore (kh.Vfs.Handle.unlink ~path:d);
+      ignore (kh.Vfs.Handle.link ~src:s ~dst:d)
+    end
+  | E_rename_del s -> if exists s then ignore (kh.Vfs.Handle.unlink ~path:s)
+  | E_truncate (p, n) -> if exists p then ignore (kh.Vfs.Handle.truncate ~path:p ~size:n)
+  | E_fallocate (p, off, len, keep) ->
+    if exists p then (
+      match kh.Vfs.Handle.open_ ~path:p ~flags:[ Types.O_RDWR ] with
+      | Ok fd ->
+        ignore (kh.Vfs.Handle.fallocate ~fd ~off ~len ~keep_size:keep);
+        ignore (kh.Vfs.Handle.close ~fd)
+      | Error _ -> ())
+  | E_write { path; foff; len; soff } -> (
+    (* Replayed by path, interpreted in order from the commit cut. An
+       extent whose staging blocks are no longer mapped was already
+       relinked into the file (the crash hit between the relink commit and
+       the log compaction); replaying it would zero-fill, so it is
+       skipped. *)
+    let psz = kpsz t in
+    let fully_staged =
+      let rec check idx =
+        idx > (soff + len - 1) / psz
+        || (Kfs.block_phys t.kfs ~ino:t.staging_ino ~idx <> None && check (idx + 1))
+      in
+      check (soff / psz)
+    in
+    if fully_staged then
+      match kh.Vfs.Handle.stat ~path with
+      | Error _ -> () (* orphan or since removed: invisible after a crash *)
+      | Ok st when st.Types.st_kind <> Types.Reg -> ()
+      | Ok st ->
+        let data = staging_read t ~soff ~len in
+        ignore (Kfs.write t.kfs ~ino:st.Types.st_ino ~off:foff ~data))
+
+let recover t =
+  Cov.mark "splitfs.recover";
+  let raw = Pm.read t.pm ~off:t.banks.(t.active) ~len:t.bank_size in
+  let rec scan pos n =
+    match decode_entry raw pos with
+    | None -> n
+    | Some (e, total) ->
+      replay_entry t e;
+      scan (pos + total) (n + 1)
+  in
+  let replayed = scan 0 0 in
+  (* Persist the replayed state, then reset the staging file and the log. *)
+  Kfs.sync t.kfs;
+  (match Kfs.truncate t.kfs ~ino:t.staging_ino ~size:0 with Ok () -> () | Error _ -> ());
+  (match
+     Kfs.fallocate t.kfs ~ino:t.staging_ino ~off:0 ~len:(staging_cap t) ~keep_size:false
+   with
+  | Ok () -> ()
+  | Error _ -> Pmem.Fault.fail "splitfs recovery: cannot re-provision staging");
+  Kfs.sync t.kfs;
+  Pm.memset_nt t.pm ~off:t.banks.(t.active) ~len:t.bank_size '\000';
+  Pm.fence t.pm;
+  t.log_used <- 0;
+  t.staging_used <- 0;
+  replayed
+
+let mount pm cfg =
+  match Kfs.mount pm cfg.kernel with
+  | Error e -> Error ("splitfs kernel: " ^ e)
+  | Ok kfs -> (
+    let active = Pm.read_u8 pm ~off:(cfg.kernel.Kfs.n_pages * cfg.kernel.Kfs.page_size) in
+    if active > 1 then Error "splitfs: corrupt log bank selector"
+    else
+      match make_state pm cfg kfs with
+      | t ->
+        let _ = recover t in
+        Ok t
+      | exception Pmem.Fault.Device_fault m -> Error m)

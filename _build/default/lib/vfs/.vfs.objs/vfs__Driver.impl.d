@@ -1,0 +1,1 @@
+lib/vfs/driver.ml: Handle Persist

@@ -1,0 +1,1 @@
+lib/vfs/driver.mli: Handle Persist

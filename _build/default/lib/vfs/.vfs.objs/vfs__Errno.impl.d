@@ -1,0 +1,1 @@
+lib/vfs/errno.ml: Format

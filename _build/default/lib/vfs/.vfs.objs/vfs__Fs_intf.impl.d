@@ -1,0 +1,1 @@
+lib/vfs/fs_intf.ml: Errno Types

@@ -1,0 +1,1 @@
+lib/vfs/handle.ml: Errno Types

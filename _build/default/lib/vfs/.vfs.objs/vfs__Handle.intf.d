@@ -1,0 +1,1 @@
+lib/vfs/handle.mli: Errno Types

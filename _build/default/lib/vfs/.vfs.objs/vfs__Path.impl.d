@@ -1,0 +1,1 @@
+lib/vfs/path.ml: Errno List String

@@ -1,0 +1,1 @@
+lib/vfs/path.mli: Errno

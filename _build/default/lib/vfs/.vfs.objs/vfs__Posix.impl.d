@@ -1,0 +1,1 @@
+lib/vfs/posix.ml: Errno Fs_intf Handle Hashtbl List Path Result String Types

@@ -1,0 +1,1 @@
+lib/vfs/posix.mli: Fs_intf Handle

@@ -1,0 +1,1 @@
+lib/vfs/syscall.ml: Char Format List Printf String Types

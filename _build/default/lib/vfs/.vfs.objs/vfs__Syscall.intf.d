@@ -1,0 +1,1 @@
+lib/vfs/syscall.mli: Format Types

@@ -1,0 +1,1 @@
+lib/vfs/types.ml: Format List String

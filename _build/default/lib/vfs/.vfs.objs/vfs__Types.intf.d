@@ -1,0 +1,1 @@
+lib/vfs/types.mli: Format

@@ -1,0 +1,1 @@
+lib/vfs/walker.ml: Errno Format Handle List Option Path Printf String Types

@@ -1,0 +1,1 @@
+lib/vfs/walker.mli: Format Handle Types

@@ -1,0 +1,1 @@
+lib/vfs/workload.ml: Errno Fun Handle Hashtbl List Option String Syscall

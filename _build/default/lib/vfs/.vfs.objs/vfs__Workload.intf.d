@@ -1,0 +1,1 @@
+lib/vfs/workload.mli: Errno Handle Syscall

@@ -1,0 +1,1 @@
+lib/vfs/workload_io.ml: List Printf Result String Syscall Types

@@ -1,0 +1,1 @@
+lib/vfs/workload_io.mli: Syscall

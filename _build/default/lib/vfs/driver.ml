@@ -1,0 +1,10 @@
+type consistency = Strong | Weak
+
+type t = {
+  name : string;
+  consistency : consistency;
+  atomic_data : bool;
+  device_size : int;
+  mkfs : Persist.Pm.t -> Handle.t;
+  mount : Persist.Pm.t -> (Handle.t, string) result;
+}

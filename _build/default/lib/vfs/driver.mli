@@ -1,0 +1,30 @@
+(** A file system as the Chipmunk harness sees it: how to create a fresh
+    instance on a PM device, how to mount (i.e. recover) from an arbitrary
+    device image, and which crash-consistency contract it advertises.
+
+    The contract determines where crash points are placed (paper section
+    3.3): [Strong] systems are checked during and after every system call;
+    [Weak] systems ([ext4-DAX]-style) are only checked at fsync-family
+    boundaries. *)
+
+type consistency =
+  | Strong  (** Every operation is synchronous and (data ops aside) atomic. *)
+  | Weak  (** Guarantees only after fsync/fdatasync/sync. *)
+
+type t = {
+  name : string;
+  consistency : consistency;
+  atomic_data : bool;
+      (** Whether [write]/[pwrite] are guaranteed atomic with respect to
+          crashes (e.g. WineFS strict mode). *)
+  device_size : int;  (** Bytes of PM the file system expects. *)
+  mkfs : Persist.Pm.t -> Handle.t;
+      (** Format the device and return a mounted handle. Must leave the
+          device fully persisted (all writes fenced). *)
+  mount : Persist.Pm.t -> (Handle.t, string) result;
+      (** Mount an existing image, running crash recovery. [Error] means the
+          image was rejected — for a crash state produced by the replayer
+          this is an "unmountable file system" finding. Implementations must
+          not raise; hardware faults escaping recovery are caught by the
+          checker and also reported. *)
+}

@@ -1,0 +1,56 @@
+type t =
+  | ENOENT
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | ENOTEMPTY
+  | EINVAL
+  | EBADF
+  | ENOSPC
+  | ENAMETOOLONG
+  | EMLINK
+  | EFBIG
+  | EROFS
+  | EIO
+  | EPERM
+  | EXDEV
+  | ENOTSUP
+
+let to_string = function
+  | ENOENT -> "ENOENT"
+  | EEXIST -> "EEXIST"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | EINVAL -> "EINVAL"
+  | EBADF -> "EBADF"
+  | ENOSPC -> "ENOSPC"
+  | ENAMETOOLONG -> "ENAMETOOLONG"
+  | EMLINK -> "EMLINK"
+  | EFBIG -> "EFBIG"
+  | EROFS -> "EROFS"
+  | EIO -> "EIO"
+  | EPERM -> "EPERM"
+  | EXDEV -> "EXDEV"
+  | ENOTSUP -> "ENOTSUP"
+
+let to_code = function
+  | EPERM -> 1
+  | ENOENT -> 2
+  | EIO -> 5
+  | EBADF -> 9
+  | EEXIST -> 17
+  | EXDEV -> 18
+  | ENOTDIR -> 20
+  | EISDIR -> 21
+  | EINVAL -> 22
+  | EFBIG -> 27
+  | ENOSPC -> 28
+  | EROFS -> 30
+  | EMLINK -> 31
+  | ENAMETOOLONG -> 36
+  | ENOTEMPTY -> 39
+  | ENOTSUP -> 95
+
+let equal (a : t) b = a = b
+let pp ppf t = Format.pp_print_string ppf (to_string t)

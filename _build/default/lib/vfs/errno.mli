@@ -1,0 +1,30 @@
+(** POSIX error numbers returned by the simulated file systems.
+
+    [EIO] is how a file system reports internally-detected corruption (e.g. a
+    checksum mismatch in NOVA-Fortis); the Chipmunk checker treats an
+    unexpected [EIO] as evidence of a crash-consistency bug. *)
+
+type t =
+  | ENOENT
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | ENOTEMPTY
+  | EINVAL
+  | EBADF
+  | ENOSPC
+  | ENAMETOOLONG
+  | EMLINK
+  | EFBIG
+  | EROFS
+  | EIO
+  | EPERM
+  | EXDEV
+  | ENOTSUP
+
+val to_string : t -> string
+val to_code : t -> int
+(** Conventional Linux numeric value, used for syscall return encoding. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

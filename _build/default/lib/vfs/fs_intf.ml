@@ -1,0 +1,80 @@
+(** The inode-level interface each file system implements.
+
+    The {!Posix} functor builds the full POSIX syscall surface on top of
+    this, mirroring how the Linux VFS dispatches to per-file-system inode
+    operations. The Posix layer performs all argument validation (name
+    validity, existence, kind compatibility, directory emptiness), so
+    implementations may assume:
+
+    - [dir] arguments are inodes of existing directories;
+    - [name] arguments are valid names (nonempty, no '/', not "." or "..",
+      within [name_max]) that exist for removal operations and do not exist
+      for creation operations;
+    - [rename] targets, when they exist, are kind-compatible and (for
+      directories) empty — the implementation must replace them atomically;
+    - offsets, sizes and lengths are non-negative.
+
+    Implementations are responsible for crash consistency: this is where the
+    journaling, logging and in-place-update machinery under test lives. *)
+
+module type INODE_OPS = sig
+  type t
+
+  val name : string
+  val name_max : int
+  val root_ino : int
+
+  (** {1 Namespace} *)
+
+  val lookup : t -> dir:int -> name:string -> (int, Errno.t) result
+  val getattr : t -> ino:int -> (Types.stat, Errno.t) result
+  val mkdir : t -> dir:int -> name:string -> (int, Errno.t) result
+  val create : t -> dir:int -> name:string -> (int, Errno.t) result
+  val link : t -> ino:int -> dir:int -> name:string -> (unit, Errno.t) result
+  val unlink : t -> dir:int -> name:string -> (unit, Errno.t) result
+  val rmdir : t -> dir:int -> name:string -> (unit, Errno.t) result
+
+  val rename :
+    t -> odir:int -> oname:string -> ndir:int -> nname:string -> (unit, Errno.t) result
+
+  val readdir : t -> dir:int -> (Types.dirent list, Errno.t) result
+  (** Entries excluding "." and "..", in any order. *)
+
+  (** {1 Data} *)
+
+  val read : t -> ino:int -> off:int -> len:int -> (string, Errno.t) result
+  (** Read exactly [len] bytes; the caller clamps [len] to EOF. *)
+
+  val write : t -> ino:int -> off:int -> data:string -> (int, Errno.t) result
+  (** Returns the number of bytes written. Writing past EOF zero-fills any
+      hole. *)
+
+  val truncate : t -> ino:int -> size:int -> (unit, Errno.t) result
+  val fallocate : t -> ino:int -> off:int -> len:int -> keep_size:bool -> (unit, Errno.t) result
+
+  (** {1 Extended attributes}
+
+      Only the DAX family supports these (as in the paper's methodology,
+      section 4.1); other implementations return [ENOTSUP]. *)
+
+  val setxattr : t -> ino:int -> name:string -> value:string -> (unit, Errno.t) result
+  val getxattr : t -> ino:int -> name:string -> (string, Errno.t) result
+  val listxattr : t -> ino:int -> (string list, Errno.t) result
+  val removexattr : t -> ino:int -> name:string -> (unit, Errno.t) result
+
+  (** {1 Durability} *)
+
+  val fsync : t -> ino:int -> (unit, Errno.t) result
+  val sync : t -> unit
+
+  (** {1 Open-file references}
+
+      The Posix layer takes a reference on every successful open and drops
+      it on close. A file whose last link is removed while references remain
+      is an orphan: it must stay accessible through its descriptors and be
+      reclaimed on the last [iput] (or by crash recovery — reference counts
+      are volatile state). *)
+
+  val iget : t -> ino:int -> unit
+  val iput : t -> ino:int -> unit
+end

@@ -1,0 +1,42 @@
+(** A first-class, uniform POSIX surface over any mounted file system.
+
+    The Chipmunk harness, the oracle tracker, the workload executor and the
+    consistency checker all drive file systems exclusively through this
+    record, so a single test pipeline works for every system under test —
+    kernel-style or user-space-style alike. *)
+
+type t = {
+  name : string;
+  creat : path:string -> (int, Errno.t) result;
+      (** [open] with [O_WRONLY|O_CREAT|O_TRUNC]; returns an fd. *)
+  open_ : path:string -> flags:Types.open_flag list -> (int, Errno.t) result;
+  close : fd:int -> (unit, Errno.t) result;
+  mkdir : path:string -> (unit, Errno.t) result;
+  rmdir : path:string -> (unit, Errno.t) result;
+  link : src:string -> dst:string -> (unit, Errno.t) result;
+  unlink : path:string -> (unit, Errno.t) result;
+  remove : path:string -> (unit, Errno.t) result;
+  rename : src:string -> dst:string -> (unit, Errno.t) result;
+  truncate : path:string -> size:int -> (unit, Errno.t) result;
+  write : fd:int -> data:string -> (int, Errno.t) result;
+  pwrite : fd:int -> off:int -> data:string -> (int, Errno.t) result;
+  read : fd:int -> len:int -> (string, Errno.t) result;
+  pread : fd:int -> off:int -> len:int -> (string, Errno.t) result;
+  lseek : fd:int -> off:int -> whence:Types.whence -> (int, Errno.t) result;
+  fallocate : fd:int -> off:int -> len:int -> keep_size:bool -> (unit, Errno.t) result;
+  fsync : fd:int -> (unit, Errno.t) result;
+  fdatasync : fd:int -> (unit, Errno.t) result;
+  sync : unit -> unit;
+  stat : path:string -> (Types.stat, Errno.t) result;
+  fstat : fd:int -> (Types.stat, Errno.t) result;
+  readdir : path:string -> (Types.dirent list, Errno.t) result;
+      (** Entries excluding "." and "..", sorted by name. *)
+  read_file : path:string -> (string, Errno.t) result;
+      (** Whole-file read without consuming an fd (checker convenience). *)
+  setxattr : path:string -> name:string -> value:string -> (unit, Errno.t) result;
+  getxattr : path:string -> name:string -> (string, Errno.t) result;
+  listxattr : path:string -> (string list, Errno.t) result;
+      (** Attribute names, sorted. [ENOTSUP] on file systems without xattr
+          support (everything except the DAX family). *)
+  removexattr : path:string -> name:string -> (unit, Errno.t) result;
+}

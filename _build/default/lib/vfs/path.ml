@@ -1,0 +1,28 @@
+(* "." and ".." are resolved lexically (there are no symlinks in any of the
+   simulated file systems, so lexical and physical resolution coincide). *)
+let split p =
+  if String.length p = 0 || p.[0] <> '/' then Error Errno.ENOENT
+  else
+    let resolve acc c =
+      match c with
+      | "" | "." -> acc
+      | ".." -> ( match acc with [] -> [] | _ :: parents -> parents)
+      | _ -> c :: acc
+    in
+    Ok (List.rev (List.fold_left resolve [] (String.split_on_char '/' p)))
+
+let split_parent p =
+  match split p with
+  | Error _ as e -> e
+  | Ok [] -> Error Errno.EINVAL
+  | Ok parts -> (
+    match List.rev parts with
+    | [] -> Error Errno.EINVAL
+    | name :: rev_parents -> Ok (List.rev rev_parents, name))
+
+let basename p =
+  match split p with
+  | Error _ | Ok [] -> "/"
+  | Ok parts -> List.nth parts (List.length parts - 1)
+
+let concat dir name = if dir = "/" then "/" ^ name else dir ^ "/" ^ name

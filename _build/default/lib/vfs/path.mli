@@ -1,0 +1,18 @@
+(** Absolute-path handling shared by all file systems.
+
+    Workloads use absolute paths only (as ACE does); "." and ".." components
+    are resolved lexically during the walk by the {!Posix} layer. *)
+
+val split : string -> (string list, Errno.t) result
+(** [split "/a/b/c"] is [Ok ["a"; "b"; "c"]]. The path must start with '/';
+    empty components are ignored; "." and ".." are resolved lexically; an
+    empty or relative path is [Error ENOENT]. *)
+
+val split_parent : string -> (string list * string, Errno.t) result
+(** [split_parent "/a/b/c"] is [Ok (["a"; "b"], "c")]: the components of the
+    parent directory and the final name. The root itself has no parent
+    ([Error EINVAL]). *)
+
+val basename : string -> string
+val concat : string -> string -> string
+(** [concat "/a" "b"] is ["/a/b"]. *)

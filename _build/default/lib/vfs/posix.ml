@@ -1,0 +1,353 @@
+let ( let* ) = Result.bind
+
+module Make (Ops : Fs_intf.INODE_OPS) = struct
+  type fd_state = { ino : int; flags : Types.open_flag list; mutable offset : int }
+
+  type t = {
+    fs : Ops.t;
+    fds : (int, fd_state) Hashtbl.t;
+    mutable next_fd : int;
+  }
+
+  let init fs = { fs; fds = Hashtbl.create 16; next_fd = 3 }
+  let fs t = t.fs
+
+  let fd_state t fd =
+    match Hashtbl.find_opt t.fds fd with
+    | Some st -> Ok st
+    | None -> Error Errno.EBADF
+
+  let validate_name name =
+    if String.length name > Ops.name_max then Error Errno.ENAMETOOLONG
+    else if name = "" || name = "." || name = ".." || String.contains name '/' then
+      Error Errno.EINVAL
+    else Ok ()
+
+  let walk t parts =
+    let rec go ino = function
+      | [] -> Ok ino
+      | name :: rest ->
+        let* next = Ops.lookup t.fs ~dir:ino ~name in
+        go next rest
+    in
+    go Ops.root_ino parts
+
+  let resolve t path =
+    let* parts = Path.split path in
+    walk t parts
+
+  (* Resolve the parent directory of [path] and return it with the final
+     name. The parent must exist and be a directory (lookup enforces the
+     directory part). *)
+  let resolve_parent t path =
+    let* parents, name = Path.split_parent path in
+    let* dir = walk t parents in
+    let* st = Ops.getattr t.fs ~ino:dir in
+    if st.Types.st_kind <> Types.Dir then Error Errno.ENOTDIR else Ok (dir, name)
+
+  let kind_of t ino =
+    let* st = Ops.getattr t.fs ~ino in
+    Ok st.Types.st_kind
+
+  let alloc_fd t ino flags =
+    let fd = t.next_fd in
+    t.next_fd <- fd + 1;
+    Hashtbl.replace t.fds fd { ino; flags; offset = 0 };
+    Ops.iget t.fs ~ino;
+    Ok fd
+
+  (* Syscalls *)
+
+  let open_ t ~path ~flags =
+    let creating = List.mem Types.O_CREAT flags in
+    let* dir, name =
+      if creating then resolve_parent t path
+      else
+        (* Only used for error propagation symmetry; non-creating opens
+           resolve the full path below. *)
+        match Path.split_parent path with
+        | Ok (parents, name) ->
+          let* dir = walk t parents in
+          Ok (dir, name)
+        | Error _ ->
+          (* Opening "/" itself. *)
+          Ok (Ops.root_ino, "")
+    in
+    let existing =
+      if name = "" then Ok (Some Ops.root_ino)
+      else
+        match Ops.lookup t.fs ~dir ~name with
+        | Ok ino -> Ok (Some ino)
+        | Error Errno.ENOENT -> Ok None
+        | Error e -> Error e
+    in
+    let* existing = existing in
+    match existing with
+    | Some ino ->
+      if creating && List.mem Types.O_EXCL flags then Error Errno.EEXIST
+      else
+        let* kind = kind_of t ino in
+        if kind = Types.Dir && Types.writable flags then Error Errno.EISDIR
+        else
+          let* () =
+            if List.mem Types.O_TRUNC flags && kind = Types.Reg && Types.writable flags then
+              Ops.truncate t.fs ~ino ~size:0
+            else Ok ()
+          in
+          alloc_fd t ino flags
+    | None ->
+      if not creating then Error Errno.ENOENT
+      else
+        let* () = validate_name name in
+        let* ino = Ops.create t.fs ~dir ~name in
+        alloc_fd t ino flags
+
+  let creat t ~path = open_ t ~path ~flags:[ Types.O_WRONLY; Types.O_CREAT; Types.O_TRUNC ]
+
+  let close t ~fd =
+    let* st = fd_state t fd in
+    Hashtbl.remove t.fds fd;
+    Ops.iput t.fs ~ino:st.ino;
+    Ok ()
+
+  let mkdir t ~path =
+    let* dir, name = resolve_parent t path in
+    let* () = validate_name name in
+    match Ops.lookup t.fs ~dir ~name with
+    | Ok _ -> Error Errno.EEXIST
+    | Error Errno.ENOENT ->
+      let* _ino = Ops.mkdir t.fs ~dir ~name in
+      Ok ()
+    | Error e -> Error e
+
+  let rmdir t ~path =
+    let* parts = Path.split path in
+    if parts = [] then Error Errno.EINVAL
+    else
+      let* dir, name = resolve_parent t path in
+      let* ino = Ops.lookup t.fs ~dir ~name in
+      let* kind = kind_of t ino in
+      if kind <> Types.Dir then Error Errno.ENOTDIR
+      else
+        let* entries = Ops.readdir t.fs ~dir:ino in
+        if entries <> [] then Error Errno.ENOTEMPTY else Ops.rmdir t.fs ~dir ~name
+
+  let link t ~src ~dst =
+    let* ino = resolve t src in
+    let* kind = kind_of t ino in
+    if kind = Types.Dir then Error Errno.EPERM
+    else
+      let* dir, name = resolve_parent t dst in
+      let* () = validate_name name in
+      match Ops.lookup t.fs ~dir ~name with
+      | Ok _ -> Error Errno.EEXIST
+      | Error Errno.ENOENT -> Ops.link t.fs ~ino ~dir ~name
+      | Error e -> Error e
+
+  let unlink t ~path =
+    let* dir, name = resolve_parent t path in
+    let* ino = Ops.lookup t.fs ~dir ~name in
+    let* kind = kind_of t ino in
+    if kind = Types.Dir then Error Errno.EISDIR else Ops.unlink t.fs ~dir ~name
+
+  let rename t ~src ~dst =
+    let* sparts = Path.split src in
+    let* dparts = Path.split dst in
+    let is_prefix p q =
+      let rec go p q =
+        match (p, q) with
+        | [], _ -> true
+        | _, [] -> false
+        | a :: p', b :: q' -> a = b && go p' q'
+      in
+      go p q
+    in
+    if sparts = [] || dparts = [] then Error Errno.EINVAL
+    else if sparts = dparts then Ok () (* rename to self is a no-op *)
+    else if is_prefix sparts dparts then Error Errno.EINVAL
+    else
+      let* odir, oname = resolve_parent t src in
+      let* sino = Ops.lookup t.fs ~dir:odir ~name:oname in
+      let* skind = kind_of t sino in
+      let* ndir, nname = resolve_parent t dst in
+      let* () = validate_name nname in
+      let* target =
+        match Ops.lookup t.fs ~dir:ndir ~name:nname with
+        | Error Errno.ENOENT -> Ok None
+        | Error e -> Error e
+        | Ok dino -> Ok (Some dino)
+      in
+      match target with
+      | Some dino when dino = sino ->
+        (* Renaming onto another hard link of the same inode is a no-op. *)
+        Ok ()
+      | Some dino ->
+        let* dkind = kind_of t dino in
+        let* () =
+          match (skind, dkind) with
+          | Types.Dir, Types.Reg -> Error Errno.ENOTDIR
+          | Types.Reg, Types.Dir -> Error Errno.EISDIR
+          | Types.Dir, Types.Dir ->
+            let* entries = Ops.readdir t.fs ~dir:dino in
+            if entries <> [] then Error Errno.ENOTEMPTY else Ok ()
+          | Types.Reg, Types.Reg -> Ok ()
+        in
+        Ops.rename t.fs ~odir ~oname ~ndir ~nname
+      | None -> Ops.rename t.fs ~odir ~oname ~ndir ~nname
+
+  let truncate t ~path ~size =
+    if size < 0 then Error Errno.EINVAL
+    else
+      let* ino = resolve t path in
+      let* kind = kind_of t ino in
+      if kind <> Types.Reg then Error Errno.EISDIR else Ops.truncate t.fs ~ino ~size
+
+  let write_at t st ~off ~data =
+    if not (Types.writable st.flags) then Error Errno.EBADF
+    else Ops.write t.fs ~ino:st.ino ~off ~data
+
+  let write t ~fd ~data =
+    let* st = fd_state t fd in
+    let* off =
+      if List.mem Types.O_APPEND st.flags then
+        let* attr = Ops.getattr t.fs ~ino:st.ino in
+        Ok attr.Types.st_size
+      else Ok st.offset
+    in
+    let* n = write_at t st ~off ~data in
+    st.offset <- off + n;
+    Ok n
+
+  let pwrite t ~fd ~off ~data =
+    if off < 0 then Error Errno.EINVAL
+    else
+      let* st = fd_state t fd in
+      write_at t st ~off ~data
+
+  let read_at t st ~off ~len =
+    if not (Types.readable st.flags) then Error Errno.EBADF
+    else
+      let* attr = Ops.getattr t.fs ~ino:st.ino in
+      if attr.Types.st_kind <> Types.Reg then Error Errno.EISDIR
+      else
+        let len = max 0 (min len (attr.Types.st_size - off)) in
+        if len = 0 then Ok "" else Ops.read t.fs ~ino:st.ino ~off ~len
+
+  let read t ~fd ~len =
+    let* st = fd_state t fd in
+    let* data = read_at t st ~off:st.offset ~len in
+    st.offset <- st.offset + String.length data;
+    Ok data
+
+  let pread t ~fd ~off ~len =
+    if off < 0 then Error Errno.EINVAL
+    else
+      let* st = fd_state t fd in
+      read_at t st ~off ~len
+
+  let lseek t ~fd ~off ~whence =
+    let* st = fd_state t fd in
+    let* base =
+      match whence with
+      | Types.SEEK_SET -> Ok 0
+      | Types.SEEK_CUR -> Ok st.offset
+      | Types.SEEK_END ->
+        let* attr = Ops.getattr t.fs ~ino:st.ino in
+        Ok attr.Types.st_size
+    in
+    let pos = base + off in
+    if pos < 0 then Error Errno.EINVAL
+    else begin
+      st.offset <- pos;
+      Ok pos
+    end
+
+  let fallocate t ~fd ~off ~len ~keep_size =
+    if off < 0 || len <= 0 then Error Errno.EINVAL
+    else
+      let* st = fd_state t fd in
+      if not (Types.writable st.flags) then Error Errno.EBADF
+      else Ops.fallocate t.fs ~ino:st.ino ~off ~len ~keep_size
+
+  let fsync t ~fd =
+    let* st = fd_state t fd in
+    Ops.fsync t.fs ~ino:st.ino
+
+  let stat t ~path =
+    let* ino = resolve t path in
+    Ops.getattr t.fs ~ino
+
+  let fstat t ~fd =
+    let* st = fd_state t fd in
+    Ops.getattr t.fs ~ino:st.ino
+
+  let readdir t ~path =
+    let* ino = resolve t path in
+    let* kind = kind_of t ino in
+    if kind <> Types.Dir then Error Errno.ENOTDIR
+    else
+      let* entries = Ops.readdir t.fs ~dir:ino in
+      Ok (List.sort (fun a b -> String.compare a.Types.d_name b.Types.d_name) entries)
+
+  let read_file t ~path =
+    let* ino = resolve t path in
+    let* attr = Ops.getattr t.fs ~ino in
+    if attr.Types.st_kind <> Types.Reg then Error Errno.EISDIR
+    else if attr.Types.st_size = 0 then Ok ""
+    else Ops.read t.fs ~ino ~off:0 ~len:attr.Types.st_size
+
+  let setxattr t ~path ~name ~value =
+    let* ino = resolve t path in
+    let* () = validate_name name in
+    Ops.setxattr t.fs ~ino ~name ~value
+
+  let getxattr t ~path ~name =
+    let* ino = resolve t path in
+    Ops.getxattr t.fs ~ino ~name
+
+  let listxattr t ~path =
+    let* ino = resolve t path in
+    let* names = Ops.listxattr t.fs ~ino in
+    Ok (List.sort String.compare names)
+
+  let removexattr t ~path ~name =
+    let* ino = resolve t path in
+    Ops.removexattr t.fs ~ino ~name
+
+  let remove t ~path =
+    let* ino = resolve t path in
+    let* kind = kind_of t ino in
+    match kind with Types.Dir -> rmdir t ~path | Types.Reg -> unlink t ~path
+
+  let handle t =
+    {
+      Handle.name = Ops.name;
+      creat = (fun ~path -> creat t ~path);
+      open_ = (fun ~path ~flags -> open_ t ~path ~flags);
+      close = (fun ~fd -> close t ~fd);
+      mkdir = (fun ~path -> mkdir t ~path);
+      rmdir = (fun ~path -> rmdir t ~path);
+      link = (fun ~src ~dst -> link t ~src ~dst);
+      unlink = (fun ~path -> unlink t ~path);
+      remove = (fun ~path -> remove t ~path);
+      rename = (fun ~src ~dst -> rename t ~src ~dst);
+      truncate = (fun ~path ~size -> truncate t ~path ~size);
+      write = (fun ~fd ~data -> write t ~fd ~data);
+      pwrite = (fun ~fd ~off ~data -> pwrite t ~fd ~off ~data);
+      read = (fun ~fd ~len -> read t ~fd ~len);
+      pread = (fun ~fd ~off ~len -> pread t ~fd ~off ~len);
+      lseek = (fun ~fd ~off ~whence -> lseek t ~fd ~off ~whence);
+      fallocate = (fun ~fd ~off ~len ~keep_size -> fallocate t ~fd ~off ~len ~keep_size);
+      fsync = (fun ~fd -> fsync t ~fd);
+      fdatasync = (fun ~fd -> fsync t ~fd);
+      sync = (fun () -> Ops.sync t.fs);
+      stat = (fun ~path -> stat t ~path);
+      fstat = (fun ~fd -> fstat t ~fd);
+      readdir = (fun ~path -> readdir t ~path);
+      read_file = (fun ~path -> read_file t ~path);
+      setxattr = (fun ~path ~name ~value -> setxattr t ~path ~name ~value);
+      getxattr = (fun ~path ~name -> getxattr t ~path ~name);
+      listxattr = (fun ~path -> listxattr t ~path);
+      removexattr = (fun ~path ~name -> removexattr t ~path ~name);
+    }
+end

@@ -1,0 +1,17 @@
+(** The POSIX syscall layer, built over any {!Fs_intf.INODE_OPS}
+    implementation — the analogue of the Linux VFS.
+
+    This layer owns path resolution, the file-descriptor table and all
+    argument validation; the underlying file system only sees validated
+    inode-level operations (see the contract in {!Fs_intf}). *)
+
+module Make (Ops : Fs_intf.INODE_OPS) : sig
+  type t
+
+  val init : Ops.t -> t
+  (** A fresh syscall layer (empty fd table) over a mounted file system. *)
+
+  val fs : t -> Ops.t
+  val handle : t -> Handle.t
+  (** The uniform driver-facing surface. *)
+end

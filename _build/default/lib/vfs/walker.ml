@@ -1,0 +1,162 @@
+type node = {
+  path : string;
+  kind : Types.file_kind option;
+  size : int;
+  nlink : int;
+  content : string option;
+  entries : string list option;
+  xattrs : (string * string) list;  (* sorted; empty when unsupported *)
+  error : string option;
+}
+
+type tree = node list
+
+let capture (h : Handle.t) =
+  let nodes = ref [] in
+  let xattrs_of path =
+    match h.Handle.listxattr ~path with
+    | Error _ -> []
+    | Ok names ->
+      List.filter_map
+        (fun name ->
+          match h.Handle.getxattr ~path ~name with
+          | Ok v -> Some (name, v)
+          | Error _ -> None)
+        names
+  in
+  let rec visit path =
+    match h.Handle.stat ~path with
+    | Error e ->
+      nodes :=
+        {
+          path;
+          kind = None;
+          size = 0;
+          nlink = 0;
+          content = None;
+          entries = None;
+          xattrs = [];
+          error = Some ("stat: " ^ Errno.to_string e);
+        }
+        :: !nodes
+    | Ok st -> (
+      match st.Types.st_kind with
+      | Types.Reg ->
+        let content, error =
+          match h.Handle.read_file ~path with
+          | Ok c -> (Some c, None)
+          | Error e -> (None, Some ("read: " ^ Errno.to_string e))
+        in
+        nodes :=
+          {
+            path;
+            kind = Some Types.Reg;
+            size = st.Types.st_size;
+            nlink = st.Types.st_nlink;
+            content;
+            entries = None;
+            xattrs = xattrs_of path;
+            error;
+          }
+          :: !nodes
+      | Types.Dir -> (
+        match h.Handle.readdir ~path with
+        | Error e ->
+          nodes :=
+            {
+              path;
+              kind = Some Types.Dir;
+              size = st.Types.st_size;
+              nlink = st.Types.st_nlink;
+              content = None;
+              entries = None;
+              xattrs = [];
+              error = Some ("readdir: " ^ Errno.to_string e);
+            }
+            :: !nodes
+        | Ok dirents ->
+          let names = List.map (fun d -> d.Types.d_name) dirents in
+          (* Directory sizes are a per-file-system convention; normalize to
+             the entry count so trees from different systems compare. *)
+          nodes :=
+            {
+              path;
+              kind = Some Types.Dir;
+              size = List.length names;
+              nlink = st.Types.st_nlink;
+              content = None;
+              entries = Some names;
+              xattrs = xattrs_of path;
+              error = None;
+            }
+            :: !nodes;
+          List.iter (fun name -> visit (Path.concat path name)) names))
+  in
+  visit "/";
+  List.sort (fun a b -> String.compare a.path b.path) !nodes
+
+let find tree path = List.find_opt (fun n -> n.path = path) tree
+
+let equal_node a b =
+  a.path = b.path && a.kind = b.kind && a.size = b.size && a.content = b.content
+  && a.entries = b.entries && a.xattrs = b.xattrs && a.error = b.error
+  && (a.kind <> Some Types.Reg || a.nlink = b.nlink)
+
+let equal a b = List.length a = List.length b && List.for_all2 equal_node a b
+
+let describe n =
+  let kind = match n.kind with None -> "?" | Some k -> Types.kind_to_string k in
+  let detail =
+    match (n.error, n.content, n.entries) with
+    | Some e, _, _ -> Printf.sprintf "error=%s" e
+    | None, Some c, _ ->
+      let preview = if String.length c > 32 then String.sub c 0 32 ^ "..." else c in
+      Printf.sprintf "content=%S" preview
+    | None, None, Some es -> Printf.sprintf "entries=[%s]" (String.concat "; " es)
+    | None, None, None -> ""
+  in
+  let xa =
+    if n.xattrs = [] then ""
+    else
+      Printf.sprintf " xattrs={%s}"
+        (String.concat "; " (List.map (fun (k, v) -> k ^ "=" ^ v) n.xattrs))
+  in
+  Printf.sprintf "%s %s size=%d nlink=%d %s%s" kind n.path n.size n.nlink detail xa
+
+let diff ~expected ~actual =
+  let out = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  let rec go e a =
+    match (e, a) with
+    | [], [] -> ()
+    | en :: e', [] ->
+      add "missing: %s" (describe en);
+      go e' []
+    | [], an :: a' ->
+      add "unexpected: %s" (describe an);
+      go [] a'
+    | en :: e', an :: a' ->
+      let c = String.compare en.path an.path in
+      if c < 0 then begin
+        add "missing: %s" (describe en);
+        go e' a
+      end
+      else if c > 0 then begin
+        add "unexpected: %s" (describe an);
+        go e a'
+      end
+      else begin
+        if not (equal_node en an) then
+          add "mismatch at %s: expected %s, got %s" en.path (describe en)
+            (describe an);
+        go e' a'
+      end
+  in
+  go expected actual;
+  List.rev !out
+
+let has_errors tree =
+  List.filter_map (fun n -> Option.map (fun e -> (n.path, e)) n.error) tree
+
+let pp ppf tree =
+  List.iter (fun n -> Format.fprintf ppf "%s@." (describe n)) tree

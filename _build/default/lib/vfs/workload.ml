@@ -1,0 +1,56 @@
+type outcome = { idx : int; call : Syscall.t; ret : int }
+
+let ret_of f = function Ok v -> f v | Error e -> -Errno.to_code e
+
+let run ?(before = fun _ _ -> ()) ?(after = fun _ _ _ -> ()) (h : Handle.t) calls =
+  let vars : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let fd_of var = Option.value (Hashtbl.find_opt vars var) ~default:(-1) in
+  let exec call =
+    match call with
+    | Syscall.Creat { path; fd_var } ->
+      let r = h.Handle.creat ~path in
+      (match r with Ok fd -> Hashtbl.replace vars fd_var fd | Error _ -> ());
+      ret_of Fun.id r
+    | Syscall.Open { path; flags; fd_var } ->
+      let r = h.Handle.open_ ~path ~flags in
+      (match r with Ok fd -> Hashtbl.replace vars fd_var fd | Error _ -> ());
+      ret_of Fun.id r
+    | Syscall.Close { fd_var } ->
+      let r = h.Handle.close ~fd:(fd_of fd_var) in
+      (match r with Ok () -> Hashtbl.remove vars fd_var | Error _ -> ());
+      ret_of (fun () -> 0) r
+    | Syscall.Mkdir { path } -> ret_of (fun () -> 0) (h.Handle.mkdir ~path)
+    | Syscall.Write { fd_var; data } ->
+      ret_of Fun.id (h.Handle.write ~fd:(fd_of fd_var) ~data:(Syscall.bytes data))
+    | Syscall.Pwrite { fd_var; off; data } ->
+      ret_of Fun.id (h.Handle.pwrite ~fd:(fd_of fd_var) ~off ~data:(Syscall.bytes data))
+    | Syscall.Read { fd_var; len } ->
+      ret_of String.length (h.Handle.read ~fd:(fd_of fd_var) ~len)
+    | Syscall.Lseek { fd_var; off; whence } ->
+      ret_of Fun.id (h.Handle.lseek ~fd:(fd_of fd_var) ~off ~whence)
+    | Syscall.Link { src; dst } -> ret_of (fun () -> 0) (h.Handle.link ~src ~dst)
+    | Syscall.Unlink { path } -> ret_of (fun () -> 0) (h.Handle.unlink ~path)
+    | Syscall.Remove { path } -> ret_of (fun () -> 0) (h.Handle.remove ~path)
+    | Syscall.Rename { src; dst } -> ret_of (fun () -> 0) (h.Handle.rename ~src ~dst)
+    | Syscall.Truncate { path; size } -> ret_of (fun () -> 0) (h.Handle.truncate ~path ~size)
+    | Syscall.Fallocate { fd_var; off; len; keep_size } ->
+      ret_of (fun () -> 0) (h.Handle.fallocate ~fd:(fd_of fd_var) ~off ~len ~keep_size)
+    | Syscall.Rmdir { path } -> ret_of (fun () -> 0) (h.Handle.rmdir ~path)
+    | Syscall.Fsync { fd_var } -> ret_of (fun () -> 0) (h.Handle.fsync ~fd:(fd_of fd_var))
+    | Syscall.Fdatasync { fd_var } ->
+      ret_of (fun () -> 0) (h.Handle.fdatasync ~fd:(fd_of fd_var))
+    | Syscall.Sync ->
+      h.Handle.sync ();
+      0
+    | Syscall.Setxattr { path; name; value } ->
+      ret_of (fun () -> 0) (h.Handle.setxattr ~path ~name ~value)
+    | Syscall.Removexattr { path; name } ->
+      ret_of (fun () -> 0) (h.Handle.removexattr ~path ~name)
+  in
+  List.mapi
+    (fun idx call ->
+      before idx call;
+      let ret = exec call in
+      after idx call ret;
+      { idx; call; ret })
+    calls

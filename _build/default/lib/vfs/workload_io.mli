@@ -1,0 +1,26 @@
+(** Plain-text serialization of workloads.
+
+    A testing framework lives and dies by reproducibility: the fuzzer saves
+    the workload behind every finding, and the CLI replays saved workloads
+    against any file system. The format is line-based, one syscall per
+    line, stable across versions:
+
+    {v
+    # chipmunk workload
+    mkdir /d
+    creat /d/f 0
+    write 0 seed=42 len=420
+    close 0
+    rename /d/f /d/g
+    v}
+
+    Paths must not contain whitespace (none of the generators produce any);
+    [to_string]/[of_string] round-trip for every representable workload. *)
+
+val to_string : Syscall.t list -> string
+val of_string : string -> (Syscall.t list, string) result
+(** Parse errors name the offending line. Blank lines and [#] comments are
+    ignored. *)
+
+val save : path:string -> Syscall.t list -> unit
+val load : path:string -> (Syscall.t list, string) result

@@ -1,0 +1,78 @@
+(** WineFS: the PMFS-derived hugepage-aware file system, instantiated from
+    the shared {!Pmcommon.Jfs} core with per-CPU undo journals, an
+    alignment-aware allocator, and a strict mode that makes data writes
+    atomic via copy-on-write.
+
+    {!Bugs} exposes the paper's WineFS corpus: bugs 14/15 and 17/18 (shared
+    with PMFS), bug 19 (recovery mis-indexes the per-CPU journal array) and
+    bug 20 (strict-mode multi-block writes are not actually atomic). *)
+
+module Jfs = Pmcommon.Jfs
+
+module Bugs = struct
+  type t = {
+    bug14_async_write : bool;
+    bug17_unflushed_tail : bool;
+    bug19_journal_index : bool;
+    bug20_torn_strict_write : bool;
+  }
+
+  let none =
+    {
+      bug14_async_write = false;
+      bug17_unflushed_tail = false;
+      bug19_journal_index = false;
+      bug20_torn_strict_write = false;
+    }
+
+  let all =
+    {
+      bug14_async_write = true;
+      bug17_unflushed_tail = true;
+      bug19_journal_index = true;
+      bug20_torn_strict_write = true;
+    }
+
+  let to_jfs t =
+    {
+      Jfs.no_bugs with
+      Jfs.bug14_skip_data_fence = t.bug14_async_write;
+      bug17_skip_tail_flush = t.bug17_unflushed_tail;
+      bug19_recover_first_journal_only = t.bug19_journal_index;
+      bug20_strict_inplace_tail = t.bug20_torn_strict_write;
+    }
+end
+
+type config = Jfs.config
+
+let config ?(bugs = Bugs.none) ?(strict = true) ?(n_cpus = 4)
+    ?(n_pages = Jfs.base_config.Jfs.n_pages) ?(n_inodes = Jfs.base_config.Jfs.n_inodes) () =
+  {
+    Jfs.base_config with
+    Jfs.fs_name = "winefs";
+    n_pages;
+    n_inodes;
+    n_journals = n_cpus;
+    strict_data = strict;
+    aligned_alloc = true;
+    align = 4;
+    bugs = Bugs.to_jfs bugs;
+  }
+
+let default_config = config ()
+
+module P = Vfs.Posix.Make (Jfs)
+
+let driver ?(config = default_config) () =
+  {
+    Vfs.Driver.name = "winefs";
+    consistency = Vfs.Driver.Strong;
+    atomic_data = config.Jfs.strict_data;
+    device_size = config.Jfs.n_pages * config.Jfs.page_size;
+    mkfs = (fun pm -> P.handle (P.init (Jfs.mkfs pm config)));
+    mount =
+      (fun pm ->
+        match Jfs.mount pm config with
+        | Ok fs -> Ok (P.handle (P.init fs))
+        | Error e -> Error e);
+  }

@@ -1,0 +1,42 @@
+(** WineFS: the PMFS-derived hugepage-aware file system, instantiated from
+    the shared {!Pmcommon.Jfs} core with per-CPU undo journals, an
+    alignment-aware allocator, and a strict mode that makes data writes
+    atomic via copy-on-write. *)
+
+module Jfs = Pmcommon.Jfs
+
+(** The paper's WineFS bug corpus as injectable switches (all default off). *)
+module Bugs : sig
+  type t = {
+    bug14_async_write : bool;
+        (** Relaxed-mode fast-path writes return without a fence (paper bug
+            15, PM; shared mechanism with PMFS). Only reachable with
+            [strict:false]. *)
+    bug17_unflushed_tail : bool;
+        (** Unaligned data tails are never flushed (paper bug 18, PM; shared
+            with PMFS). Only reachable with [strict:false]. *)
+    bug19_journal_index : bool;
+        (** Recovery mis-indexes the per-CPU journal array and only rolls
+            back journal 0; transactions on other CPUs stay half-applied
+            (paper bug 19, Logic). *)
+    bug20_torn_strict_write : bool;
+        (** Strict mode copies-on-write only the first touched block of a
+            multi-block write, tearing the supposedly atomic write (paper
+            bug 20, Logic). *)
+  }
+
+  val none : t
+  val all : t
+  val to_jfs : t -> Jfs.bugs
+end
+
+type config = Jfs.config
+
+val default_config : config
+(** Strict mode, 4 per-CPU journals. *)
+
+val config :
+  ?bugs:Bugs.t -> ?strict:bool -> ?n_cpus:int -> ?n_pages:int -> ?n_inodes:int -> unit -> config
+
+val driver : ?config:config -> unit -> Vfs.Driver.t
+(** Strong consistency; data writes are atomic iff the config is strict. *)

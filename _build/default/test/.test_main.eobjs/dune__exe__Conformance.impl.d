@@ -1,0 +1,1 @@
+test/conformance.ml: Alcotest Helpers List Result String Vfs

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array List Memfs Novafs Persist Pmem Random String Vfs

@@ -1,0 +1,1 @@
+test/test_ace.ml: Ace Alcotest Hashtbl List Memfs Seq String Vfs

@@ -1,0 +1,1 @@
+test/test_blockalloc.ml: Alcotest Blockalloc Helpers List Pmem QCheck QCheck_alcotest Result Vfs

@@ -1,0 +1,1 @@
+test/test_chipmunk.ml: Alcotest Catalog Chipmunk Format List Novafs Printf String Vfs

@@ -1,0 +1,1 @@
+test/test_chipmunk_units.ml: Ace Alcotest Chipmunk Format List Novafs Persist String Vfs

@@ -1,0 +1,1 @@
+test/test_codecs.ml: Alcotest Bytes Char Int32 List Novafs Persist Pmcommon Pmem Printf QCheck QCheck_alcotest String

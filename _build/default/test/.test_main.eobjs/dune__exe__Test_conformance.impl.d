@@ -1,0 +1,1 @@
+test/test_conformance.ml: Conformance Ext4dax Memfs Novafs Persist Pmem Pmfs Splitfs Vfs Winefs

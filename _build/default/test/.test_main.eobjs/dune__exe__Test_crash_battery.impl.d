@@ -1,0 +1,1 @@
+test/test_crash_battery.ml: Alcotest Catalog Chipmunk Format List Vfs

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Chipmunk Cov Fuzz List Memfs Novafs Random Vfs

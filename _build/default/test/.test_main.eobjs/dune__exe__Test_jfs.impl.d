@@ -1,0 +1,1 @@
+test/test_jfs.ml: Alcotest Chipmunk Format Helpers List Persist Pmem Pmfs QCheck QCheck_alcotest Random String Vfs Winefs

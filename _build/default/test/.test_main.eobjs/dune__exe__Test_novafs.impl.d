@@ -1,0 +1,1 @@
+test/test_novafs.ml: Alcotest Blockalloc Fun Hashtbl Helpers List Novafs Persist Pmem Printf QCheck QCheck_alcotest Random Result String Vfs

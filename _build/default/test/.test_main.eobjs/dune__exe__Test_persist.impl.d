@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Array Gen List Persist Pmem QCheck QCheck_alcotest String

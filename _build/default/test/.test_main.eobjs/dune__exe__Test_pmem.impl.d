@@ -1,0 +1,1 @@
+test/test_pmem.ml: Alcotest Gen Pmem QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_splitfs.ml: Alcotest Catalog Chipmunk Ext4dax Format Fun Helpers List Memfs Persist Pmem Printf QCheck QCheck_alcotest Random Splitfs String Vfs

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Ext4dax Helpers List Novafs Persist Pmem Pmfs Printexc QCheck QCheck_alcotest Random Splitfs String Vfs Winefs

@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Filename Helpers List Memfs Result String Sys Vfs

@@ -1,0 +1,286 @@
+(* A file-system-agnostic POSIX conformance suite.
+
+   Every test takes a fresh handle factory, so the same behavioural
+   contract is enforced on the oracle (memfs) and on all seven modelled PM
+   file systems — the property the whole Chipmunk pipeline rests on: any
+   semantic divergence between a file system and the oracle would show up
+   as a false positive (or a masked bug) in crash checking. *)
+
+module Types = Vfs.Types
+module Errno = Vfs.Errno
+
+let ok = Helpers.check_ok
+let err = Helpers.check_err
+
+type maker = unit -> Vfs.Handle.t
+
+let creat_stat (mk : maker) () =
+  let h = mk () in
+  let fd = ok "creat" (h.Vfs.Handle.creat ~path:"/foo") in
+  let st = ok "fstat" (h.Vfs.Handle.fstat ~fd) in
+  Alcotest.(check int) "size 0" 0 st.Types.st_size;
+  Alcotest.(check int) "nlink 1" 1 st.Types.st_nlink;
+  Alcotest.(check string) "kind" "reg" (Types.kind_to_string st.Types.st_kind);
+  err "creat in missing dir" Errno.ENOENT (h.Vfs.Handle.creat ~path:"/nodir/foo");
+  err "stat missing" Errno.ENOENT (h.Vfs.Handle.stat ~path:"/missing")
+
+let write_read_roundtrip (mk : maker) () =
+  let h = mk () in
+  let fd = ok "creat" (h.Vfs.Handle.creat ~path:"/f") in
+  let payload = Vfs.Syscall.bytes { seed = 99; len = 321 } in
+  Alcotest.(check int) "short write not allowed" 321
+    (ok "write" (h.Vfs.Handle.write ~fd ~data:payload));
+  Alcotest.(check string) "read back" payload (ok "rf" (h.Vfs.Handle.read_file ~path:"/f"));
+  let fd2 = ok "open" (h.Vfs.Handle.open_ ~path:"/f" ~flags:[ Types.O_RDONLY ]) in
+  Alcotest.(check string) "pread window" (String.sub payload 100 50)
+    (ok "pread" (h.Vfs.Handle.pread ~fd:fd2 ~off:100 ~len:50));
+  Alcotest.(check string) "pread clamps at EOF" (String.sub payload 300 21)
+    (ok "pread tail" (h.Vfs.Handle.pread ~fd:fd2 ~off:300 ~len:500));
+  Alcotest.(check string) "pread past EOF is empty" ""
+    (ok "pread past" (h.Vfs.Handle.pread ~fd:fd2 ~off:1000 ~len:10))
+
+let sparse_files (mk : maker) () =
+  let h = mk () in
+  let fd = ok "creat" (h.Vfs.Handle.creat ~path:"/sparse") in
+  let _ = ok "pwrite far" (h.Vfs.Handle.pwrite ~fd ~off:500 ~data:"tail") in
+  let content = ok "rf" (h.Vfs.Handle.read_file ~path:"/sparse") in
+  Alcotest.(check int) "size" 504 (String.length content);
+  Alcotest.(check string) "hole reads zero" (String.make 500 '\000')
+    (String.sub content 0 500);
+  Alcotest.(check string) "tail" "tail" (String.sub content 500 4)
+
+let overwrite_middle (mk : maker) () =
+  let h = mk () in
+  let fd = ok "creat" (h.Vfs.Handle.creat ~path:"/f") in
+  let _ = ok "base" (h.Vfs.Handle.write ~fd ~data:(String.make 300 'a')) in
+  let _ = ok "patch" (h.Vfs.Handle.pwrite ~fd ~off:130 ~data:(String.make 40 'b')) in
+  let content = ok "rf" (h.Vfs.Handle.read_file ~path:"/f") in
+  Alcotest.(check int) "size unchanged" 300 (String.length content);
+  Alcotest.(check char) "before patch" 'a' content.[129];
+  Alcotest.(check char) "patch start" 'b' content.[130];
+  Alcotest.(check char) "patch end" 'b' content.[169];
+  Alcotest.(check char) "after patch" 'a' content.[170]
+
+let append_mode (mk : maker) () =
+  let h = mk () in
+  let fd = ok "creat" (h.Vfs.Handle.creat ~path:"/log") in
+  let _ = ok "w" (h.Vfs.Handle.write ~fd ~data:"one") in
+  ok "close" (h.Vfs.Handle.close ~fd);
+  let fd = ok "append open" (h.Vfs.Handle.open_ ~path:"/log" ~flags:[ Types.O_WRONLY; Types.O_APPEND ]) in
+  let _ = ok "seek to 0" (h.Vfs.Handle.lseek ~fd ~off:0 ~whence:Types.SEEK_SET) in
+  let _ = ok "append" (h.Vfs.Handle.write ~fd ~data:"two") in
+  Alcotest.(check string) "O_APPEND ignores offset" "onetwo"
+    (ok "rf" (h.Vfs.Handle.read_file ~path:"/log"))
+
+let lseek_semantics (mk : maker) () =
+  let h = mk () in
+  let fd = ok "creat" (h.Vfs.Handle.creat ~path:"/f") in
+  let _ = ok "w" (h.Vfs.Handle.write ~fd ~data:(String.make 100 'x')) in
+  Alcotest.(check int) "SEEK_END" 90 (ok "se" (h.Vfs.Handle.lseek ~fd ~off:(-10) ~whence:Types.SEEK_END));
+  Alcotest.(check int) "SEEK_CUR" 95 (ok "sc" (h.Vfs.Handle.lseek ~fd ~off:5 ~whence:Types.SEEK_CUR));
+  Alcotest.(check int) "SEEK_SET" 7 (ok "ss" (h.Vfs.Handle.lseek ~fd ~off:7 ~whence:Types.SEEK_SET));
+  err "negative position" Errno.EINVAL (h.Vfs.Handle.lseek ~fd ~off:(-1) ~whence:Types.SEEK_SET)
+
+let directories (mk : maker) () =
+  let h = mk () in
+  ok "mkdir /a" (h.Vfs.Handle.mkdir ~path:"/a");
+  ok "mkdir /a/b" (h.Vfs.Handle.mkdir ~path:"/a/b");
+  err "mkdir exists" Errno.EEXIST (h.Vfs.Handle.mkdir ~path:"/a");
+  err "mkdir missing parent" Errno.ENOENT (h.Vfs.Handle.mkdir ~path:"/x/y");
+  let _ = ok "creat nested" (h.Vfs.Handle.creat ~path:"/a/b/f") in
+  let names =
+    List.map (fun d -> d.Types.d_name) (ok "readdir" (h.Vfs.Handle.readdir ~path:"/a"))
+  in
+  Alcotest.(check (list string)) "entries sorted" [ "b" ] names;
+  err "readdir of file" Errno.ENOTDIR (h.Vfs.Handle.readdir ~path:"/a/b/f");
+  err "rmdir nonempty" Errno.ENOTEMPTY (h.Vfs.Handle.rmdir ~path:"/a/b");
+  ok "unlink" (h.Vfs.Handle.unlink ~path:"/a/b/f");
+  ok "rmdir" (h.Vfs.Handle.rmdir ~path:"/a/b");
+  ok "rmdir /a" (h.Vfs.Handle.rmdir ~path:"/a")
+
+let dir_link_counts (mk : maker) () =
+  let h = mk () in
+  ok "mkdir /d" (h.Vfs.Handle.mkdir ~path:"/d");
+  Alcotest.(check int) "fresh dir nlink" 2
+    (ok "stat" (h.Vfs.Handle.stat ~path:"/d")).Types.st_nlink;
+  ok "mkdir /d/s1" (h.Vfs.Handle.mkdir ~path:"/d/s1");
+  ok "mkdir /d/s2" (h.Vfs.Handle.mkdir ~path:"/d/s2");
+  Alcotest.(check int) "2 + subdirs" 4
+    (ok "stat" (h.Vfs.Handle.stat ~path:"/d")).Types.st_nlink;
+  ok "rmdir /d/s1" (h.Vfs.Handle.rmdir ~path:"/d/s1");
+  Alcotest.(check int) "after rmdir" 3
+    (ok "stat" (h.Vfs.Handle.stat ~path:"/d")).Types.st_nlink
+
+let hard_links (mk : maker) () =
+  let h = mk () in
+  let fd = ok "creat" (h.Vfs.Handle.creat ~path:"/f") in
+  let _ = ok "w" (h.Vfs.Handle.write ~fd ~data:"shared") in
+  ok "close" (h.Vfs.Handle.close ~fd);
+  ok "link" (h.Vfs.Handle.link ~src:"/f" ~dst:"/g");
+  Alcotest.(check int) "nlink 2" 2 (ok "stat" (h.Vfs.Handle.stat ~path:"/f")).Types.st_nlink;
+  Alcotest.(check string) "same bytes" "shared" (ok "rf" (h.Vfs.Handle.read_file ~path:"/g"));
+  (* Writes through one name are visible through the other. *)
+  let fd = ok "open g" (h.Vfs.Handle.open_ ~path:"/g" ~flags:[ Types.O_RDWR ]) in
+  let _ = ok "pw" (h.Vfs.Handle.pwrite ~fd ~off:0 ~data:"SHARED") in
+  ok "close" (h.Vfs.Handle.close ~fd);
+  Alcotest.(check string) "visible via f" "SHARED" (ok "rf" (h.Vfs.Handle.read_file ~path:"/f"));
+  err "link over existing" Errno.EEXIST (h.Vfs.Handle.link ~src:"/f" ~dst:"/g");
+  ok "mkdir" (h.Vfs.Handle.mkdir ~path:"/d");
+  err "link directory" Errno.EPERM (h.Vfs.Handle.link ~src:"/d" ~dst:"/d2");
+  ok "unlink one name" (h.Vfs.Handle.unlink ~path:"/f");
+  Alcotest.(check int) "nlink back to 1" 1
+    (ok "stat" (h.Vfs.Handle.stat ~path:"/g")).Types.st_nlink;
+  Alcotest.(check string) "content survives" "SHARED" (ok "rf" (h.Vfs.Handle.read_file ~path:"/g"))
+
+let rename_file (mk : maker) () =
+  let h = mk () in
+  let fd = ok "creat" (h.Vfs.Handle.creat ~path:"/old") in
+  let _ = ok "w" (h.Vfs.Handle.write ~fd ~data:"payload") in
+  ok "close" (h.Vfs.Handle.close ~fd);
+  ok "rename" (h.Vfs.Handle.rename ~src:"/old" ~dst:"/new");
+  err "old gone" Errno.ENOENT (h.Vfs.Handle.stat ~path:"/old");
+  Alcotest.(check string) "moved" "payload" (ok "rf" (h.Vfs.Handle.read_file ~path:"/new"));
+  err "rename missing" Errno.ENOENT (h.Vfs.Handle.rename ~src:"/old" ~dst:"/x");
+  ok "rename self" (h.Vfs.Handle.rename ~src:"/new" ~dst:"/new");
+  Alcotest.(check string) "self no-op" "payload" (ok "rf" (h.Vfs.Handle.read_file ~path:"/new"))
+
+let rename_overwrite (mk : maker) () =
+  let h = mk () in
+  let fd = ok "creat a" (h.Vfs.Handle.creat ~path:"/a") in
+  let _ = ok "w a" (h.Vfs.Handle.write ~fd ~data:"winner") in
+  ok "close" (h.Vfs.Handle.close ~fd);
+  let fd = ok "creat b" (h.Vfs.Handle.creat ~path:"/b") in
+  let _ = ok "w b" (h.Vfs.Handle.write ~fd ~data:"loser") in
+  ok "close" (h.Vfs.Handle.close ~fd);
+  ok "rename over" (h.Vfs.Handle.rename ~src:"/a" ~dst:"/b");
+  err "a gone" Errno.ENOENT (h.Vfs.Handle.stat ~path:"/a");
+  Alcotest.(check string) "b replaced" "winner" (ok "rf" (h.Vfs.Handle.read_file ~path:"/b"))
+
+let rename_dirs (mk : maker) () =
+  let h = mk () in
+  ok "mkdir /d1" (h.Vfs.Handle.mkdir ~path:"/d1");
+  ok "mkdir /d2" (h.Vfs.Handle.mkdir ~path:"/d2");
+  ok "mkdir /d1/sub" (h.Vfs.Handle.mkdir ~path:"/d1/sub");
+  let _ = ok "creat" (h.Vfs.Handle.creat ~path:"/d1/sub/f") in
+  err "into own subtree" Errno.EINVAL (h.Vfs.Handle.rename ~src:"/d1" ~dst:"/d1/sub/x");
+  err "onto nonempty" Errno.ENOTEMPTY (h.Vfs.Handle.rename ~src:"/d2" ~dst:"/d1");
+  ok "move dir" (h.Vfs.Handle.rename ~src:"/d1/sub" ~dst:"/d2/moved");
+  Alcotest.(check bool) "file moved along" true
+    (Result.is_ok (h.Vfs.Handle.stat ~path:"/d2/moved/f"));
+  Alcotest.(check int) "old parent nlink" 2
+    (ok "stat d1" (h.Vfs.Handle.stat ~path:"/d1")).Types.st_nlink;
+  Alcotest.(check int) "new parent nlink" 3
+    (ok "stat d2" (h.Vfs.Handle.stat ~path:"/d2")).Types.st_nlink
+
+let truncate_shrink_extend (mk : maker) () =
+  let h = mk () in
+  let fd = ok "creat" (h.Vfs.Handle.creat ~path:"/f") in
+  let payload = Vfs.Syscall.bytes { seed = 5; len = 400 } in
+  let _ = ok "w" (h.Vfs.Handle.write ~fd ~data:payload) in
+  ok "shrink" (h.Vfs.Handle.truncate ~path:"/f" ~size:123);
+  Alcotest.(check string) "prefix kept" (String.sub payload 0 123)
+    (ok "rf" (h.Vfs.Handle.read_file ~path:"/f"));
+  ok "extend" (h.Vfs.Handle.truncate ~path:"/f" ~size:200);
+  let content = ok "rf" (h.Vfs.Handle.read_file ~path:"/f") in
+  Alcotest.(check int) "extended" 200 (String.length content);
+  Alcotest.(check string) "zero filled" (String.make 77 '\000') (String.sub content 123 77);
+  (* Old bytes must never resurrect past a shrink/extend cycle. *)
+  ok "shrink again" (h.Vfs.Handle.truncate ~path:"/f" ~size:50);
+  ok "extend again" (h.Vfs.Handle.truncate ~path:"/f" ~size:400);
+  let content = ok "rf" (h.Vfs.Handle.read_file ~path:"/f") in
+  Alcotest.(check string) "no stale data" (String.make 350 '\000') (String.sub content 50 350)
+
+let fallocate_behaviour (mk : maker) () =
+  let h = mk () in
+  let fd = ok "creat" (h.Vfs.Handle.creat ~path:"/f") in
+  let _ = ok "w" (h.Vfs.Handle.write ~fd ~data:(String.make 100 'q')) in
+  ok "keep_size" (h.Vfs.Handle.fallocate ~fd ~off:0 ~len:500 ~keep_size:true);
+  Alcotest.(check int) "size kept" 100 (ok "st" (h.Vfs.Handle.fstat ~fd)).Types.st_size;
+  ok "grow" (h.Vfs.Handle.fallocate ~fd ~off:150 ~len:100 ~keep_size:false);
+  Alcotest.(check int) "size grown" 250 (ok "st" (h.Vfs.Handle.fstat ~fd)).Types.st_size;
+  let content = ok "rf" (h.Vfs.Handle.read_file ~path:"/f") in
+  Alcotest.(check string) "existing data intact" (String.make 100 'q') (String.sub content 0 100);
+  Alcotest.(check string) "allocated region zero" (String.make 150 '\000')
+    (String.sub content 100 150);
+  err "bad args" Errno.EINVAL (h.Vfs.Handle.fallocate ~fd ~off:(-1) ~len:10 ~keep_size:false)
+
+let open_flags (mk : maker) () =
+  let h = mk () in
+  let fd = ok "o_creat" (h.Vfs.Handle.open_ ~path:"/f" ~flags:[ Types.O_RDWR; Types.O_CREAT ]) in
+  let _ = ok "w" (h.Vfs.Handle.write ~fd ~data:"xyz") in
+  err "o_excl existing" Errno.EEXIST
+    (h.Vfs.Handle.open_ ~path:"/f" ~flags:[ Types.O_CREAT; Types.O_EXCL ]);
+  let _ = ok "o_trunc" (h.Vfs.Handle.open_ ~path:"/f" ~flags:[ Types.O_WRONLY; Types.O_TRUNC ]) in
+  Alcotest.(check int) "truncated" 0 (ok "st" (h.Vfs.Handle.stat ~path:"/f")).Types.st_size;
+  err "open missing" Errno.ENOENT (h.Vfs.Handle.open_ ~path:"/nope" ~flags:[ Types.O_RDONLY ]);
+  err "write on O_RDONLY" Errno.EBADF
+    (let fd = ok "ro" (h.Vfs.Handle.open_ ~path:"/f" ~flags:[ Types.O_RDONLY ]) in
+     h.Vfs.Handle.write ~fd ~data:"no");
+  err "bad fd" Errno.EBADF (h.Vfs.Handle.close ~fd:9999)
+
+let orphan_files (mk : maker) () =
+  let h = mk () in
+  let fd =
+    ok "creat" (h.Vfs.Handle.open_ ~path:"/doomed" ~flags:[ Types.O_RDWR; Types.O_CREAT ])
+  in
+  let _ = ok "w" (h.Vfs.Handle.write ~fd ~data:"still here") in
+  ok "unlink while open" (h.Vfs.Handle.unlink ~path:"/doomed");
+  err "name gone" Errno.ENOENT (h.Vfs.Handle.stat ~path:"/doomed");
+  let _ = ok "write orphan" (h.Vfs.Handle.write ~fd ~data:"!") in
+  Alcotest.(check string) "pread orphan" "here!"
+    (ok "pr" (h.Vfs.Handle.pread ~fd ~off:6 ~len:5));
+  ok "close reclaims" (h.Vfs.Handle.close ~fd)
+
+let deep_paths (mk : maker) () =
+  let h = mk () in
+  ok "a" (h.Vfs.Handle.mkdir ~path:"/a");
+  ok "b" (h.Vfs.Handle.mkdir ~path:"/a/b");
+  ok "c" (h.Vfs.Handle.mkdir ~path:"/a/b/c");
+  let _ = ok "creat deep" (h.Vfs.Handle.creat ~path:"/a/b/c/leaf") in
+  Alcotest.(check bool) "dots resolve" true
+    (Result.is_ok (h.Vfs.Handle.stat ~path:"/a/./b/../b/c/leaf"));
+  err "file as dir" Errno.ENOTDIR (h.Vfs.Handle.stat ~path:"/a/b/c/leaf/under");
+  err "name too long" Errno.ENAMETOOLONG
+    (h.Vfs.Handle.mkdir ~path:("/a/" ^ String.make 300 'z'))
+
+let remove_dispatch (mk : maker) () =
+  let h = mk () in
+  let _ = ok "creat" (h.Vfs.Handle.creat ~path:"/f") in
+  ok "mkdir" (h.Vfs.Handle.mkdir ~path:"/d");
+  ok "remove file" (h.Vfs.Handle.remove ~path:"/f");
+  ok "remove dir" (h.Vfs.Handle.remove ~path:"/d");
+  err "remove missing" Errno.ENOENT (h.Vfs.Handle.remove ~path:"/f")
+
+let fsync_smoke (mk : maker) () =
+  let h = mk () in
+  let fd = ok "creat" (h.Vfs.Handle.creat ~path:"/f") in
+  let _ = ok "w" (h.Vfs.Handle.write ~fd ~data:"durable") in
+  ok "fsync" (h.Vfs.Handle.fsync ~fd);
+  ok "fdatasync" (h.Vfs.Handle.fdatasync ~fd);
+  h.Vfs.Handle.sync ();
+  Alcotest.(check string) "still readable" "durable" (ok "rf" (h.Vfs.Handle.read_file ~path:"/f"))
+
+let suite ~prefix (mk : maker) =
+  List.map
+    (fun (name, f) -> Alcotest.test_case (prefix ^ ": " ^ name) `Quick (f mk))
+    [
+      ("creat and stat", creat_stat);
+      ("write/read roundtrip", write_read_roundtrip);
+      ("sparse files", sparse_files);
+      ("overwrite middle", overwrite_middle);
+      ("O_APPEND", append_mode);
+      ("lseek", lseek_semantics);
+      ("directories", directories);
+      ("directory link counts", dir_link_counts);
+      ("hard links", hard_links);
+      ("rename file", rename_file);
+      ("rename overwrite", rename_overwrite);
+      ("rename directories", rename_dirs);
+      ("truncate shrink/extend", truncate_shrink_extend);
+      ("fallocate", fallocate_behaviour);
+      ("open flags", open_flags);
+      ("orphan files", orphan_files);
+      ("deep paths and dots", deep_paths);
+      ("remove dispatch", remove_dispatch);
+      ("fsync family", fsync_smoke);
+    ]

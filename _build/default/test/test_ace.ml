@@ -1,0 +1,99 @@
+(* Tests for the ACE workload generator. *)
+
+module S = Vfs.Syscall
+
+let test_suite_sizes () =
+  let n1 = Ace.count (Ace.seq1 Ace.Strong) in
+  let n2 = Ace.count (Ace.seq2 Ace.Strong) in
+  Alcotest.(check int) "seq1 = |ops|" (List.length Ace.core_ops) n1;
+  Alcotest.(check int) "seq2 = |ops|^2" (n1 * n1) n2;
+  Alcotest.(check bool) "seq3 metadata space smaller" true
+    (List.length Ace.metadata_ops < List.length Ace.core_ops)
+
+let test_names_stable () =
+  let names l = List.of_seq (Seq.map fst (Seq.take 3 l)) in
+  Alcotest.(check (list string)) "stable naming"
+    [ "seq1-00000"; "seq1-00001"; "seq1-00002" ]
+    (names (Ace.seq1 Ace.Strong))
+
+let all_valid_on_oracle mode suite =
+  Seq.iter
+    (fun (name, w) ->
+      let h = Memfs.handle () in
+      let out = Vfs.Workload.run h w in
+      List.iter
+        (fun (o : Vfs.Workload.outcome) ->
+          (* ACE satisfies dependencies, so only benign failures remain:
+             rename/overwrite cases may hit ENOTEMPTY or EEXIST. *)
+          if o.Vfs.Workload.ret < 0 then
+            let e = -o.Vfs.Workload.ret in
+            if
+              e <> Vfs.Errno.to_code Vfs.Errno.ENOTEMPTY
+              && e <> Vfs.Errno.to_code Vfs.Errno.EEXIST
+              && e <> Vfs.Errno.to_code Vfs.Errno.EINVAL
+            then
+              Alcotest.failf "%s: %s failed with %d" name
+                (S.to_string o.Vfs.Workload.call) o.Vfs.Workload.ret)
+        out;
+      ignore mode)
+    suite
+
+let test_seq1_valid () = all_valid_on_oracle Ace.Strong (Ace.seq1 Ace.Strong)
+let test_seq2_valid () = all_valid_on_oracle Ace.Strong (Seq.take 800 (Ace.seq2 Ace.Strong))
+let test_seq3_valid () =
+  all_valid_on_oracle Ace.Strong (Seq.take 500 (Ace.seq3_metadata Ace.Strong))
+
+let test_strong_mode_has_no_fsync () =
+  Seq.iter
+    (fun (_, w) ->
+      if List.exists S.is_fsync_family w then Alcotest.fail "fsync in strong-mode workload")
+    (Ace.seq1 Ace.Strong)
+
+let test_fsync_mode_syncs () =
+  Seq.iter
+    (fun (name, w) ->
+      if not (List.exists S.is_fsync_family w) then
+        Alcotest.failf "%s: no fsync-family call in Fsync mode" name;
+      match List.rev w with
+      | S.Sync :: _ -> ()
+      | _ -> Alcotest.failf "%s: Fsync-mode workload does not end with sync" name)
+    (Ace.seq1 Ace.Fsync)
+
+let test_fds_balanced () =
+  (* Every opened descriptor is closed by the end of the workload. *)
+  Seq.iter
+    (fun (name, w) ->
+      let open_vars = Hashtbl.create 8 in
+      List.iter
+        (fun call ->
+          match call with
+          | S.Creat { fd_var; _ } | S.Open { fd_var; _ } -> Hashtbl.replace open_vars fd_var ()
+          | S.Close { fd_var } -> Hashtbl.remove open_vars fd_var
+          | _ -> ())
+        w;
+      if Hashtbl.length open_vars <> 0 then Alcotest.failf "%s: leaked descriptors" name)
+    (Seq.append (Ace.seq1 Ace.Strong) (Seq.take 500 (Ace.seq2 Ace.Strong)))
+
+let test_expand_is_deterministic () =
+  let w1 = List.of_seq (Seq.take 50 (Ace.seq2 Ace.Strong)) in
+  let w2 = List.of_seq (Seq.take 50 (Ace.seq2 Ace.Strong)) in
+  Alcotest.(check bool) "same workloads on re-enumeration" true (w1 = w2)
+
+let test_core_to_string () =
+  List.iter
+    (fun c -> Alcotest.(check bool) "nonempty" true (String.length (Ace.core_to_string c) > 0))
+    Ace.core_ops
+
+let suite =
+  [
+    Alcotest.test_case "suite sizes" `Quick test_suite_sizes;
+    Alcotest.test_case "stable names" `Quick test_names_stable;
+    Alcotest.test_case "seq1 dependencies satisfied" `Quick test_seq1_valid;
+    Alcotest.test_case "seq2 dependencies satisfied (sample)" `Quick test_seq2_valid;
+    Alcotest.test_case "seq3 dependencies satisfied (sample)" `Quick test_seq3_valid;
+    Alcotest.test_case "strong mode has no fsync" `Quick test_strong_mode_has_no_fsync;
+    Alcotest.test_case "fsync mode inserts syncs" `Quick test_fsync_mode_syncs;
+    Alcotest.test_case "descriptors balanced" `Quick test_fds_balanced;
+    Alcotest.test_case "enumeration deterministic" `Quick test_expand_is_deterministic;
+    Alcotest.test_case "core op rendering" `Quick test_core_to_string;
+  ]

@@ -1,0 +1,83 @@
+(* Tests for the volatile page allocator. *)
+
+let test_alloc_free () =
+  let a = Blockalloc.create ~n_pages:8 in
+  Alcotest.(check int) "all free" 8 (Blockalloc.free_count a);
+  let p1 = Helpers.check_ok "alloc" (Blockalloc.alloc a) in
+  let p2 = Helpers.check_ok "alloc" (Blockalloc.alloc a) in
+  Alcotest.(check bool) "distinct" true (p1 <> p2);
+  Alcotest.(check int) "used" 2 (Blockalloc.used_count a);
+  Blockalloc.free a p1;
+  Alcotest.(check bool) "freed not used" false (Blockalloc.is_used a p1);
+  Alcotest.(check int) "used after free" 1 (Blockalloc.used_count a)
+
+let test_exhaustion () =
+  let a = Blockalloc.create ~n_pages:3 in
+  let _ = Blockalloc.alloc a and _ = Blockalloc.alloc a and _ = Blockalloc.alloc a in
+  Helpers.check_err "exhausted" Vfs.Errno.ENOSPC (Blockalloc.alloc a)
+
+let test_double_free_faults () =
+  let a = Blockalloc.create ~n_pages:4 in
+  let p = Helpers.check_ok "alloc" (Blockalloc.alloc a) in
+  Blockalloc.free a p;
+  Alcotest.(check bool) "double free raises" true
+    (try
+       Blockalloc.free a p;
+       false
+     with Pmem.Fault.Device_fault _ -> true)
+
+let test_double_claim_faults () =
+  let a = Blockalloc.create ~n_pages:4 in
+  Blockalloc.mark_used a 2;
+  Alcotest.(check bool) "double claim raises" true
+    (try
+       Blockalloc.mark_used a 2;
+       false
+     with Pmem.Fault.Device_fault _ -> true)
+
+let test_out_of_range_faults () =
+  let a = Blockalloc.create ~n_pages:4 in
+  Alcotest.(check bool) "range check" true
+    (try
+       Blockalloc.mark_used a 7;
+       false
+     with Pmem.Fault.Device_fault _ -> true)
+
+let test_aligned () =
+  let a = Blockalloc.create ~n_pages:16 in
+  let p = Helpers.check_ok "aligned" (Blockalloc.alloc_aligned a ~align:4) in
+  Alcotest.(check int) "aligned page" 0 (p mod 4);
+  Blockalloc.mark_used a 4;
+  Blockalloc.mark_used a 8;
+  Blockalloc.mark_used a 12;
+  (* Only unaligned pages remain free: fallback must still succeed. *)
+  let q = Helpers.check_ok "fallback" (Blockalloc.alloc_aligned a ~align:4) in
+  Alcotest.(check bool) "fallback unaligned" true (q mod 4 <> 0)
+
+let test_alloc_at_least () =
+  let a = Blockalloc.create ~n_pages:6 in
+  let ps = Helpers.check_ok "batch" (Blockalloc.alloc_at_least a ~n:4) in
+  Alcotest.(check int) "four pages" 4 (List.length ps);
+  (* All-or-nothing: a failing batch must release what it took. *)
+  Helpers.check_err "too many" Vfs.Errno.ENOSPC (Blockalloc.alloc_at_least a ~n:3);
+  Alcotest.(check int) "rolled back" 4 (Blockalloc.used_count a)
+
+let prop_alloc_unique =
+  QCheck.Test.make ~name:"allocated pages are always distinct" ~count:100
+    QCheck.(int_bound 30)
+    (fun n ->
+      let a = Blockalloc.create ~n_pages:32 in
+      let pages = List.init n (fun _ -> Result.get_ok (Blockalloc.alloc a)) in
+      List.length (List.sort_uniq compare pages) = n)
+
+let suite =
+  [
+    Alcotest.test_case "alloc and free" `Quick test_alloc_free;
+    Alcotest.test_case "exhaustion returns ENOSPC" `Quick test_exhaustion;
+    Alcotest.test_case "double free faults" `Quick test_double_free_faults;
+    Alcotest.test_case "double claim faults" `Quick test_double_claim_faults;
+    Alcotest.test_case "out of range faults" `Quick test_out_of_range_faults;
+    Alcotest.test_case "aligned allocation" `Quick test_aligned;
+    Alcotest.test_case "batch alloc all-or-nothing" `Quick test_alloc_at_least;
+    QCheck_alcotest.to_alcotest prop_alloc_unique;
+  ]

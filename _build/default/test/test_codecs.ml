@@ -1,0 +1,202 @@
+(* Round-trip and robustness tests for the on-media codecs: NOVA log
+   entries, the NOVA lite journal, the PMFS/WineFS undo journal, and the
+   SplitFS operation log. Decoders must never crash on garbage — after a
+   crash they read whatever bytes the subset replay left behind. *)
+
+module Entry = Novafs.Entry
+
+let gen_entry =
+  QCheck.Gen.(
+    oneof
+      [
+        map2
+          (fun ino name -> Entry.Dentry_add { ino; name; valid = true })
+          (int_bound 1000)
+          (string_size ~gen:(char_range 'a' 'z') (1 -- 20));
+        map2
+          (fun ino name -> Entry.Dentry_del { ino; name })
+          (int_bound 1000)
+          (string_size ~gen:(char_range 'a' 'z') (1 -- 20));
+        map2
+          (fun (file_off, new_size) pages ->
+            Entry.File_write { file_off; new_size; len = 128 * List.length pages; pages })
+          (pair (int_bound 10000) (int_bound 10000))
+          (list_size (1 -- 8) (int_bound 1000));
+        map2
+          (fun new_size data_csum -> Entry.Setattr { new_size; data_csum })
+          (int_bound 100000) (int_bound 0xFFFF);
+      ])
+
+let arb_entry = QCheck.make gen_entry
+
+let prop_entry_roundtrip fortis =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "nova entry roundtrip (fortis=%b)" fortis)
+    ~count:300 arb_entry
+    (fun e ->
+      let encoded = Entry.encode ~fortis e in
+      (* Decode from a page-like buffer with trailing zeros. *)
+      let buf = encoded ^ String.make 32 '\000' in
+      match Entry.decode ~fortis buf 0 with
+      | Ok (d, len) -> len = String.length encoded && d = e
+      | Error _ -> false)
+
+let prop_entry_decode_never_crashes =
+  QCheck.Test.make ~name:"nova entry decode survives garbage" ~count:500
+    QCheck.(string_of_size QCheck.Gen.(0 -- 80))
+    (fun junk ->
+      match Entry.decode ~fortis:true junk 0 with
+      | Ok _ | Error _ -> true)
+
+let prop_entry_csum_detects_corruption =
+  QCheck.Test.make ~name:"fortis checksum catches single-byte corruption" ~count:200
+    QCheck.(pair arb_entry (int_bound 1000))
+    (fun (e, flip) ->
+      let encoded = Entry.encode ~fortis:true e in
+      let pos = flip mod String.length encoded in
+      let corrupted =
+        String.mapi (fun i c -> if i = pos then Char.chr (Char.code c lxor 0x5A) else c) encoded
+      in
+      if corrupted = encoded then true
+      else
+        match Entry.decode ~fortis:true (corrupted ^ String.make 16 '\000') 0 with
+        | Ok (d, _) -> d <> e (* length-field corruption may still decode, but never to e *)
+        | Error _ -> true)
+
+(* --- NOVA lite journal --- *)
+
+let nova_setup () =
+  let cfg = Novafs.default_config in
+  let lay = Novafs.Layout.v cfg in
+  let img = Pmem.Image.create ~size:lay.Novafs.Layout.size in
+  (Persist.Pm.create img, lay)
+
+let test_nova_journal_replay () =
+  let pm, lay = nova_setup () in
+  let records =
+    [
+      { Novafs.Journal.addr = 900; data = "hello" };
+      { Novafs.Journal.addr = 950; data = "world!!" };
+    ]
+  in
+  (* Commit but crash before apply: recovery must redo the records. *)
+  Novafs.Journal.commit pm lay records;
+  (match Novafs.Journal.recover pm lay with
+  | Ok n -> Alcotest.(check int) "replayed" 2 n
+  | Error e -> Alcotest.failf "recover: %s" e);
+  Alcotest.(check string) "first applied" "hello" (Persist.Pm.read pm ~off:900 ~len:5);
+  Alcotest.(check string) "second applied" "world!!" (Persist.Pm.read pm ~off:950 ~len:7);
+  (* Cleared: a second recovery is a no-op. *)
+  match Novafs.Journal.recover pm lay with
+  | Ok 0 -> ()
+  | Ok n -> Alcotest.failf "journal not cleared: replayed %d" n
+  | Error e -> Alcotest.failf "second recover: %s" e
+
+let test_nova_journal_uncommitted_ignored () =
+  let pm, lay = nova_setup () in
+  (* Write record bytes but never the valid flag: recovery must ignore. *)
+  Persist.Pm.memcpy_nt pm ~off:(lay.Novafs.Layout.journal + 1) "\001garbage-record-bytes";
+  Persist.Pm.fence pm;
+  match Novafs.Journal.recover pm lay with
+  | Ok 0 -> ()
+  | Ok n -> Alcotest.failf "uncommitted journal replayed %d records" n
+  | Error e -> Alcotest.failf "recover: %s" e
+
+let test_nova_journal_validates_addresses () =
+  let pm, lay = nova_setup () in
+  (* A committed journal whose record points far outside the device. *)
+  let b = Bytes.make 16 '\000' in
+  Bytes.set b 0 '\001';
+  (* count *)
+  Bytes.set_int32_le b 1 (Int32.of_int 99_999_999);
+  Bytes.set b 5 (Char.chr 8);
+  Persist.Pm.memcpy_nt pm ~off:(lay.Novafs.Layout.journal + 1) (Bytes.to_string b);
+  Persist.Pm.memcpy_nt pm ~off:lay.Novafs.Layout.journal "\001";
+  Persist.Pm.fence pm;
+  match Novafs.Journal.recover pm lay with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range record accepted"
+
+(* --- Undo journal (PMFS/WineFS) --- *)
+
+let undo_setup () =
+  let img = Pmem.Image.create ~size:4096 in
+  (Persist.Pm.create img, { Pmcommon.Undo_journal.base = 1024; space = 512 })
+
+let test_undo_journal_rollback () =
+  let pm, j = undo_setup () in
+  Persist.Pm.memcpy_nt pm ~off:100 "original-contents";
+  Persist.Pm.fence pm;
+  Pmcommon.Undo_journal.begin_tx pm j ~spans:[ (100, 17) ];
+  Persist.Pm.memcpy_nt pm ~off:100 "clobbered-after!!";
+  (* Crash before end_tx: recovery rolls the span back. *)
+  (match Pmcommon.Undo_journal.recover pm j ~device_size:4096 with
+  | Ok n -> Alcotest.(check int) "one span" 1 n
+  | Error e -> Alcotest.failf "recover: %s" e);
+  Alcotest.(check string) "rolled back" "original-contents"
+    (Persist.Pm.read pm ~off:100 ~len:17)
+
+let test_undo_journal_completed_tx_not_rolled_back () =
+  let pm, j = undo_setup () in
+  Persist.Pm.memcpy_nt pm ~off:100 "before";
+  Persist.Pm.fence pm;
+  Pmcommon.Undo_journal.begin_tx pm j ~spans:[ (100, 6) ];
+  Persist.Pm.memcpy_nt pm ~off:100 "after!";
+  Pmcommon.Undo_journal.end_tx pm j;
+  (match Pmcommon.Undo_journal.recover pm j ~device_size:4096 with
+  | Ok 0 -> ()
+  | Ok n -> Alcotest.failf "cleared journal replayed %d" n
+  | Error e -> Alcotest.failf "recover: %s" e);
+  Alcotest.(check string) "kept" "after!" (Persist.Pm.read pm ~off:100 ~len:6)
+
+let prop_undo_journal_roundtrip =
+  QCheck.Test.make ~name:"undo journal restores arbitrary spans" ~count:100
+    QCheck.(small_list (pair (int_range 0 3000) (int_range 1 30)))
+    (fun raw_spans ->
+      let pm, j = undo_setup () in
+      (* Pre-fill with a pattern, avoiding the journal area itself. *)
+      for i = 0 to 4095 do
+        Pmem.Image.write_u8 (Persist.Pm.image pm) ~off:i (i * 13 mod 251)
+      done;
+      let spans =
+        List.filteri (fun i _ -> i < 8)
+          (List.filter (fun (off, len) -> off + len <= 1024 || off >= 1536) raw_spans)
+      in
+      let snap = Pmem.Image.snapshot (Persist.Pm.image pm) in
+      if spans = [] then true
+      else begin
+        Pmcommon.Undo_journal.begin_tx pm j ~spans;
+        List.iter
+          (fun (off, len) -> Persist.Pm.memset_nt pm ~off ~len 'Z')
+          spans;
+        (* Crash before end_tx. *)
+        match Pmcommon.Undo_journal.recover pm j ~device_size:4096 with
+        | Error _ -> false
+        | Ok _ ->
+          (* Everything outside the journal region must be restored. *)
+          let ok = ref true in
+          List.iter
+            (fun (off, len) ->
+              if Pmem.Image.read (Persist.Pm.image pm) ~off ~len
+                 <> Pmem.Image.read snap ~off ~len
+              then ok := false)
+            spans;
+          !ok
+      end)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest (prop_entry_roundtrip false);
+    QCheck_alcotest.to_alcotest (prop_entry_roundtrip true);
+    QCheck_alcotest.to_alcotest prop_entry_decode_never_crashes;
+    QCheck_alcotest.to_alcotest prop_entry_csum_detects_corruption;
+    Alcotest.test_case "nova journal redo replay" `Quick test_nova_journal_replay;
+    Alcotest.test_case "nova journal ignores uncommitted" `Quick
+      test_nova_journal_uncommitted_ignored;
+    Alcotest.test_case "nova journal validates addresses" `Quick
+      test_nova_journal_validates_addresses;
+    Alcotest.test_case "undo journal rollback" `Quick test_undo_journal_rollback;
+    Alcotest.test_case "undo journal keeps completed tx" `Quick
+      test_undo_journal_completed_tx_not_rolled_back;
+    QCheck_alcotest.to_alcotest prop_undo_journal_roundtrip;
+  ]

@@ -1,0 +1,21 @@
+(* Instantiate the generic POSIX conformance suite for the oracle and every
+   modelled file system. *)
+
+let pm_handle (driver : Vfs.Driver.t) () =
+  let image = Pmem.Image.create ~size:driver.Vfs.Driver.device_size in
+  let pm = Persist.Pm.create image in
+  driver.Vfs.Driver.mkfs pm
+
+let suites =
+  Conformance.suite ~prefix:"memfs" (fun () -> Memfs.handle ())
+  @ Conformance.suite ~prefix:"nova" (pm_handle (Novafs.driver ()))
+  @ Conformance.suite ~prefix:"nova-fortis"
+      (pm_handle (Novafs.driver ~config:(Novafs.config ~fortis:true ()) ()))
+  @ Conformance.suite ~prefix:"pmfs" (pm_handle (Pmfs.driver ()))
+  @ Conformance.suite ~prefix:"winefs" (pm_handle (Winefs.driver ()))
+  @ Conformance.suite ~prefix:"winefs-relaxed"
+      (pm_handle (Winefs.driver ~config:(Winefs.config ~strict:false ()) ()))
+  @ Conformance.suite ~prefix:"ext4-dax" (pm_handle (Ext4dax.driver ()))
+  @ Conformance.suite ~prefix:"xfs-dax"
+      (pm_handle (Ext4dax.driver ~config:(Ext4dax.config ~xfs:true ()) ()))
+  @ Conformance.suite ~prefix:"splitfs" (pm_handle (Splitfs.driver ()))

@@ -1,0 +1,129 @@
+(* Tests for the fuzzing front end: program generation/mutation, coverage
+   plumbing, triage clustering, and end-to-end bug finding. *)
+
+let test_generate_bounded () =
+  let rng = Random.State.make [| 1 |] in
+  for _ = 1 to 50 do
+    let p = Fuzz.Prog.generate rng ~max_len:10 in
+    Alcotest.(check bool) "nonempty" true (p <> []);
+    Alcotest.(check bool) "bounded" true (List.length p <= 10)
+  done
+
+let test_generate_runs_on_oracle () =
+  let rng = Random.State.make [| 2 |] in
+  for _ = 1 to 50 do
+    let p = Fuzz.Prog.generate rng ~max_len:15 in
+    let h = Memfs.handle () in
+    (* Generated programs may fail syscalls but must never raise. *)
+    ignore (Vfs.Workload.run h p)
+  done
+
+let test_mutate_never_empty () =
+  let rng = Random.State.make [| 3 |] in
+  let p = ref (Fuzz.Prog.generate rng ~max_len:5) in
+  for _ = 1 to 200 do
+    p := Fuzz.Prog.mutate rng !p;
+    Alcotest.(check bool) "nonempty" true (!p <> [])
+  done
+
+let test_cov_plumbing () =
+  Cov.disable ();
+  Cov.reset ();
+  Cov.mark "ignored-when-disabled";
+  Alcotest.(check int) "disabled marks ignored" 0 (Cov.count ());
+  Cov.enable ();
+  Cov.mark "a";
+  Cov.mark "b";
+  Cov.mark "a";
+  Alcotest.(check int) "distinct points" 2 (Cov.count ());
+  Alcotest.(check (list string)) "sorted hits" [ "a"; "b" ] (Cov.hits ());
+  Cov.reset ();
+  Alcotest.(check int) "reset clears" 0 (Cov.count ());
+  Cov.disable ()
+
+let mk_report summary_kind =
+  {
+    Chipmunk.Report.fs = "nova";
+    workload = [ Vfs.Syscall.Mkdir { path = "/d" } ];
+    crash_point =
+      {
+        Chipmunk.Report.fence_no = 1;
+        during_syscall = Some 0;
+        after_syscall = None;
+        subset = [];
+        in_flight = 1;
+      };
+    kind = summary_kind;
+  }
+
+let test_triage_groups_similar () =
+  let a = mk_report (Chipmunk.Report.Unmountable "dentry foo references free inode 3") in
+  let b = mk_report (Chipmunk.Report.Unmountable "dentry foo references free inode 7") in
+  let c = mk_report (Chipmunk.Report.Unusable "creat probe in /d: ENOSPC") in
+  let clusters = Fuzz.Triage.cluster [ a; b; c ] in
+  Alcotest.(check int) "two clusters" 2 (List.length clusters);
+  Alcotest.(check int) "similar pair grouped" 2
+    (List.length (List.hd clusters).Fuzz.Triage.members)
+
+let test_triage_similarity_bounds () =
+  let a = mk_report (Chipmunk.Report.Unmountable "xyz") in
+  Alcotest.(check bool) "self similarity 1" true (Fuzz.Triage.similarity a a >= 0.999);
+  let b = mk_report (Chipmunk.Report.Unusable "completely different words entirely") in
+  Alcotest.(check bool) "different below 1" true (Fuzz.Triage.similarity a b < 1.0)
+
+let test_fuzzer_finds_injected_bug () =
+  let bugs = { Novafs.Bugs.none with bug4_inplace_dentry_invalidate = true } in
+  let driver = Novafs.driver ~config:(Novafs.config ~bugs ()) () in
+  let config =
+    {
+      Fuzz.Fuzzer.default_config with
+      Fuzz.Fuzzer.rng_seed = 11;
+      max_execs = 2000;
+      max_seconds = 30.0;
+      stop_after_findings = Some 1;
+    }
+  in
+  let r = Fuzz.Fuzzer.run ~config driver in
+  Alcotest.(check bool) "found" true (r.Fuzz.Fuzzer.events <> []);
+  Alcotest.(check bool) "collected coverage" true (r.Fuzz.Fuzzer.coverage > 0)
+
+let test_fuzzer_clean_is_silent () =
+  let config =
+    {
+      Fuzz.Fuzzer.default_config with
+      Fuzz.Fuzzer.rng_seed = 12;
+      max_execs = 150;
+      max_seconds = 20.0;
+    }
+  in
+  let r = Fuzz.Fuzzer.run ~config (Novafs.driver ()) in
+  (match r.Fuzz.Fuzzer.events with
+  | [] -> ()
+  | e :: _ ->
+    Alcotest.failf "false positive: %s\nworkload: %s"
+      (Chipmunk.Report.summary e.Fuzz.Fuzzer.report)
+      (Fuzz.Prog.to_string e.Fuzz.Fuzzer.workload));
+  Alcotest.(check bool) "built a corpus" true (r.Fuzz.Fuzzer.corpus_size > 0)
+
+let test_fuzzer_deterministic_given_seed () =
+  let run () =
+    let config =
+      { Fuzz.Fuzzer.default_config with Fuzz.Fuzzer.rng_seed = 5; max_execs = 60 }
+    in
+    let r = Fuzz.Fuzzer.run ~config (Novafs.driver ()) in
+    (r.Fuzz.Fuzzer.execs, r.Fuzz.Fuzzer.crash_states)
+  in
+  Alcotest.(check (pair int int)) "reproducible" (run ()) (run ())
+
+let suite =
+  [
+    Alcotest.test_case "generation bounded and nonempty" `Quick test_generate_bounded;
+    Alcotest.test_case "generated programs run safely" `Quick test_generate_runs_on_oracle;
+    Alcotest.test_case "mutation never empties" `Quick test_mutate_never_empty;
+    Alcotest.test_case "coverage plumbing" `Quick test_cov_plumbing;
+    Alcotest.test_case "triage groups similar reports" `Quick test_triage_groups_similar;
+    Alcotest.test_case "triage similarity bounds" `Quick test_triage_similarity_bounds;
+    Alcotest.test_case "fuzzer finds injected bug" `Quick test_fuzzer_finds_injected_bug;
+    Alcotest.test_case "fuzzer silent on clean FS" `Quick test_fuzzer_clean_is_silent;
+    Alcotest.test_case "fuzzer deterministic per seed" `Quick test_fuzzer_deterministic_given_seed;
+  ]

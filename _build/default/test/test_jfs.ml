@@ -1,0 +1,257 @@
+(* PMFS / WineFS tests: oracle conformance, remount fidelity, and per-bug
+   regressions for paper bugs 13-20. *)
+
+module Syscall = Vfs.Syscall
+
+let pmfs_handle ?(config = Pmfs.default_config) () =
+  let driver = Pmfs.driver ~config () in
+  let image = Pmem.Image.create ~size:driver.Vfs.Driver.device_size in
+  let pm = Persist.Pm.create image in
+  (driver.Vfs.Driver.mkfs pm, pm, driver)
+
+let winefs_handle ?(config = Winefs.default_config) () =
+  let driver = Winefs.driver ~config () in
+  let image = Pmem.Image.create ~size:driver.Vfs.Driver.device_size in
+  let pm = Persist.Pm.create image in
+  (driver.Vfs.Driver.mkfs pm, pm, driver)
+
+let remount pm (driver : Vfs.Driver.t) =
+  match driver.Vfs.Driver.mount pm with
+  | Ok h -> h
+  | Error e -> Alcotest.failf "remount failed: %s" e
+
+let scenario =
+  [
+    Syscall.Mkdir { path = "/d" };
+    Syscall.Creat { path = "/d/file"; fd_var = 0 };
+    Syscall.Write { fd_var = 0; data = { seed = 3; len = 500 } };
+    Syscall.Pwrite { fd_var = 0; off = 50; data = { seed = 4; len = 33 } };
+    Syscall.Link { src = "/d/file"; dst = "/hardlink" };
+    Syscall.Rename { src = "/d/file"; dst = "/renamed" };
+    Syscall.Truncate { path = "/renamed"; size = 123 };
+    Syscall.Fallocate { fd_var = 0; off = 600; len = 100; keep_size = false };
+    Syscall.Close { fd_var = 0 };
+    Syscall.Unlink { path = "/hardlink" };
+    Syscall.Truncate { path = "/renamed"; size = 700 };
+  ]
+
+let test_pmfs_conformance () =
+  let h, _, _ = pmfs_handle () in
+  Helpers.against_oracle h scenario
+
+let test_winefs_conformance () =
+  let h, _, _ = winefs_handle () in
+  Helpers.against_oracle h scenario
+
+let check_remount mk =
+  let h, pm, driver = mk () in
+  let _ = Vfs.Workload.run h scenario in
+  let before = Vfs.Walker.capture h in
+  let after = Vfs.Walker.capture (remount pm driver) in
+  let diffs = Vfs.Walker.diff ~expected:before ~actual:after in
+  if diffs <> [] then Alcotest.failf "remount diverged:\n%s" (String.concat "\n" diffs)
+
+let test_pmfs_remount () = check_remount (fun () -> pmfs_handle ())
+let test_winefs_remount () = check_remount (fun () -> winefs_handle ())
+
+let prop_conformance name mk =
+  QCheck.Test.make ~name ~count:50
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let calls = Helpers.random_workload ~rng ~len:25 in
+      let h, _, _ = mk () in
+      Helpers.against_oracle h calls;
+      true)
+
+let prop_remount name mk =
+  QCheck.Test.make ~name ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let calls = Helpers.random_workload ~rng ~len:20 in
+      let h, pm, (driver : Vfs.Driver.t) = mk () in
+      let _ = Vfs.Workload.run h calls in
+      let before = Vfs.Walker.capture h in
+      match driver.Vfs.Driver.mount pm with
+      | Error e -> QCheck.Test.fail_report ("remount failed: " ^ e)
+      | Ok h2 ->
+        let diffs = Vfs.Walker.diff ~expected:before ~actual:(Vfs.Walker.capture h2) in
+        if diffs <> [] then QCheck.Test.fail_report (String.concat "\n" diffs);
+        true)
+
+(* --- crash-consistency bug regressions --- *)
+
+let w_overwrite =
+  [
+    Syscall.Creat { path = "/foo"; fd_var = 0 };
+    Syscall.Write { fd_var = 0; data = { seed = 1; len = 300 } };
+    Syscall.Close { fd_var = 0 };
+    Syscall.Open { path = "/foo"; flags = [ Vfs.Types.O_RDWR ]; fd_var = 1 };
+    Syscall.Pwrite { fd_var = 1; off = 40; data = { seed = 2; len = 100 } };
+    Syscall.Close { fd_var = 1 };
+  ]
+
+let w_truncate =
+  [
+    Syscall.Creat { path = "/foo"; fd_var = 0 };
+    Syscall.Write { fd_var = 0; data = { seed = 5; len = 400 } };
+    Syscall.Truncate { path = "/foo"; size = 100 };
+    Syscall.Close { fd_var = 0 };
+  ]
+
+let w_unlink =
+  [
+    Syscall.Creat { path = "/foo"; fd_var = 0 };
+    Syscall.Write { fd_var = 0; data = { seed = 6; len = 300 } };
+    Syscall.Close { fd_var = 0 };
+    Syscall.Unlink { path = "/foo" };
+  ]
+
+let w_metadata_mix =
+  [
+    Syscall.Creat { path = "/a"; fd_var = 0 };
+    Syscall.Close { fd_var = 0 };
+    Syscall.Link { src = "/a"; dst = "/b" };
+    Syscall.Unlink { path = "/b" };
+    Syscall.Rename { src = "/a"; dst = "/c" };
+  ]
+
+let w_multiblock_write =
+  [
+    Syscall.Creat { path = "/foo"; fd_var = 0 };
+    Syscall.Write { fd_var = 0; data = { seed = 7; len = 400 } };
+    Syscall.Close { fd_var = 0 };
+    Syscall.Open { path = "/foo"; flags = [ Vfs.Types.O_RDWR ]; fd_var = 1 };
+    Syscall.Pwrite { fd_var = 1; off = 0; data = { seed = 8; len = 384 } };
+    Syscall.Close { fd_var = 1 };
+  ]
+
+let run_pmfs bugs w =
+  let driver = Pmfs.driver ~config:(Pmfs.config ~bugs ()) () in
+  Chipmunk.Harness.test_workload driver w
+
+let run_winefs bugs w =
+  let driver = Winefs.driver ~config:(Winefs.config ~bugs ()) () in
+  Chipmunk.Harness.test_workload driver w
+
+let expect run ~name bugs workloads pred =
+  let reports = List.concat_map (fun w -> (run bugs w).Chipmunk.Harness.reports) workloads in
+  if not (List.exists (fun r -> pred r.Chipmunk.Report.kind) reports) then
+    Alcotest.failf "%s: expected kind not found among %d report(s): %s" name
+      (List.length reports)
+      (String.concat "; " (List.map Chipmunk.Report.summary reports))
+
+let test_bug13 () =
+  expect run_pmfs ~name:"bug13"
+    { Pmfs.Bugs.none with bug13_truncate_replay = true }
+    [ w_truncate; w_unlink ]
+    (function Chipmunk.Report.Recovery_fault _ -> true | _ -> false)
+
+let test_bug14_pmfs () =
+  expect run_pmfs ~name:"bug14 pmfs"
+    { Pmfs.Bugs.none with bug14_async_write = true }
+    [ w_overwrite ]
+    (function Chipmunk.Report.Synchrony _ -> true | _ -> false)
+
+let test_bug15_winefs () =
+  (* The unfenced fast path only exists in WineFS's relaxed (non-strict)
+     mode; strict mode routes every write through the copy-on-write
+     transaction. *)
+  let bugs = { Winefs.Bugs.none with bug14_async_write = true } in
+  let driver = Winefs.driver ~config:(Winefs.config ~bugs ~strict:false ()) () in
+  let r = Chipmunk.Harness.test_workload driver w_overwrite in
+  if
+    not
+      (List.exists
+         (fun r ->
+           match r.Chipmunk.Report.kind with Chipmunk.Report.Synchrony _ -> true | _ -> false)
+         r.Chipmunk.Harness.reports)
+  then Alcotest.fail "bug15: no synchrony report"
+
+let test_bug16 () =
+  expect run_pmfs ~name:"bug16"
+    { Pmfs.Bugs.none with bug16_journal_oob = true }
+    [ w_metadata_mix ]
+    (function
+      | Chipmunk.Report.Recovery_fault _ | Chipmunk.Report.Unmountable _
+      | Chipmunk.Report.Synchrony _ | Chipmunk.Report.Atomicity _
+      | Chipmunk.Report.Inaccessible _ ->
+        true
+      | _ -> false)
+
+let test_bug17_pmfs () =
+  expect run_pmfs ~name:"bug17 pmfs"
+    { Pmfs.Bugs.none with bug17_unflushed_tail = true }
+    [ w_overwrite ]
+    (function Chipmunk.Report.Synchrony _ -> true | _ -> false)
+
+let test_bug18_winefs () =
+  (* WineFS strict mode copies whole blocks on write, so the unaligned-tail
+     path only runs in relaxed mode. *)
+  let bugs = { Winefs.Bugs.none with bug17_unflushed_tail = true } in
+  let driver = Winefs.driver ~config:(Winefs.config ~bugs ~strict:false ()) () in
+  let r = Chipmunk.Harness.test_workload driver w_overwrite in
+  if
+    not
+      (List.exists
+         (fun r ->
+           match r.Chipmunk.Report.kind with Chipmunk.Report.Synchrony _ -> true | _ -> false)
+         r.Chipmunk.Harness.reports)
+  then Alcotest.fail "bug18: no synchrony report"
+
+let test_bug19 () =
+  expect run_winefs ~name:"bug19"
+    { Winefs.Bugs.none with bug19_journal_index = true }
+    [ w_metadata_mix; w_truncate ]
+    (function
+      | Chipmunk.Report.Inaccessible _ | Chipmunk.Report.Atomicity _
+      | Chipmunk.Report.Synchrony _ | Chipmunk.Report.Unusable _ ->
+        true
+      | _ -> false)
+
+let test_bug20 () =
+  expect run_winefs ~name:"bug20"
+    { Winefs.Bugs.none with bug20_torn_strict_write = true }
+    [ w_multiblock_write ]
+    (function
+      | Chipmunk.Report.Atomicity _ | Chipmunk.Report.Torn_data _ -> true
+      | _ -> false)
+
+let test_clean_no_reports () =
+  List.iter
+    (fun w ->
+      let r = run_pmfs Pmfs.Bugs.none w in
+      (match r.Chipmunk.Harness.reports with
+      | [] -> ()
+      | rep :: _ ->
+        Alcotest.failf "pmfs false positive:\n%s" (Format.asprintf "%a" Chipmunk.Report.pp rep));
+      let r = run_winefs Winefs.Bugs.none w in
+      match r.Chipmunk.Harness.reports with
+      | [] -> ()
+      | rep :: _ ->
+        Alcotest.failf "winefs false positive:\n%s" (Format.asprintf "%a" Chipmunk.Report.pp rep))
+    [ w_overwrite; w_truncate; w_unlink; w_metadata_mix; w_multiblock_write ]
+
+let suite =
+  [
+    Alcotest.test_case "pmfs conformance" `Quick test_pmfs_conformance;
+    Alcotest.test_case "winefs conformance" `Quick test_winefs_conformance;
+    Alcotest.test_case "pmfs remount" `Quick test_pmfs_remount;
+    Alcotest.test_case "winefs remount" `Quick test_winefs_remount;
+    QCheck_alcotest.to_alcotest (prop_conformance "pmfs matches oracle" (fun () -> pmfs_handle ()));
+    QCheck_alcotest.to_alcotest
+      (prop_conformance "winefs matches oracle" (fun () -> winefs_handle ()));
+    QCheck_alcotest.to_alcotest (prop_remount "pmfs remount identity" (fun () -> pmfs_handle ()));
+    QCheck_alcotest.to_alcotest
+      (prop_remount "winefs remount identity" (fun () -> winefs_handle ()));
+    Alcotest.test_case "clean pmfs/winefs: no false positives" `Quick test_clean_no_reports;
+    Alcotest.test_case "bug 13: truncate replay null deref" `Quick test_bug13;
+    Alcotest.test_case "bug 14: pmfs write not synchronous" `Quick test_bug14_pmfs;
+    Alcotest.test_case "bug 15: winefs write not synchronous" `Quick test_bug15_winefs;
+    Alcotest.test_case "bug 16: unvalidated journal recovery" `Quick test_bug16;
+    Alcotest.test_case "bug 17: pmfs unflushed tail" `Quick test_bug17_pmfs;
+    Alcotest.test_case "bug 18: winefs unflushed tail" `Quick test_bug18_winefs;
+    Alcotest.test_case "bug 19: per-CPU journal index" `Quick test_bug19;
+    Alcotest.test_case "bug 20: torn strict write" `Quick test_bug20;
+  ]

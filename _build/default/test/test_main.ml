@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "chipmunk-repro"
+    [
+      ("pmem", Test_pmem.suite);
+      ("persist", Test_persist.suite);
+      ("vfs", Test_vfs.suite);
+      ("novafs", Test_novafs.suite);
+      ("chipmunk", Test_chipmunk.suite);
+      ("pmfs-winefs", Test_jfs.suite);
+      ("splitfs-ext4dax", Test_splitfs.suite);
+      ("conformance", Test_conformance.suites);
+      ("blockalloc", Test_blockalloc.suite);
+      ("chipmunk-units", Test_chipmunk_units.suite);
+      ("ace", Test_ace.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("catalog", Test_catalog.suite);
+      ("codecs", Test_codecs.suite);
+      ("crash-battery", Test_crash_battery.suite);
+      ("stress", Test_stress.suite);
+    ]

@@ -1,0 +1,373 @@
+(* SplitFS and ext4-DAX tests: conformance, remount fidelity, and
+   regressions for paper bugs 21-25. *)
+
+module Syscall = Vfs.Syscall
+
+let mk (driver : Vfs.Driver.t) =
+  let image = Pmem.Image.create ~size:driver.Vfs.Driver.device_size in
+  let pm = Persist.Pm.create image in
+  (driver.Vfs.Driver.mkfs pm, pm, driver)
+
+let scenario =
+  [
+    Syscall.Mkdir { path = "/d" };
+    Syscall.Creat { path = "/d/file"; fd_var = 0 };
+    Syscall.Write { fd_var = 0; data = { seed = 3; len = 500 } };
+    Syscall.Pwrite { fd_var = 0; off = 50; data = { seed = 4; len = 33 } };
+    Syscall.Fsync { fd_var = 0 };
+    Syscall.Link { src = "/d/file"; dst = "/hardlink" };
+    Syscall.Rename { src = "/d/file"; dst = "/renamed" };
+    Syscall.Truncate { path = "/renamed"; size = 123 };
+    Syscall.Write { fd_var = 0; data = { seed = 6; len = 150 } };
+    Syscall.Close { fd_var = 0 };
+    Syscall.Unlink { path = "/hardlink" };
+    Syscall.Sync;
+  ]
+
+let test_splitfs_conformance () =
+  let h, _, _ = mk (Splitfs.driver ()) in
+  Helpers.against_oracle h scenario
+
+let test_ext4dax_conformance () =
+  let h, _, _ = mk (Ext4dax.driver ()) in
+  Helpers.against_oracle h scenario
+
+let test_xfsdax_conformance () =
+  let h, _, _ = mk (Ext4dax.driver ~config:(Ext4dax.config ~xfs:true ()) ()) in
+  Helpers.against_oracle h scenario
+
+let check_remount driver =
+  let h, pm, (driver : Vfs.Driver.t) = mk driver in
+  let _ = Vfs.Workload.run h scenario in
+  let before = Vfs.Walker.capture h in
+  match driver.Vfs.Driver.mount pm with
+  | Error e -> Alcotest.failf "remount failed: %s" e
+  | Ok h2 ->
+    let diffs = Vfs.Walker.diff ~expected:before ~actual:(Vfs.Walker.capture h2) in
+    if diffs <> [] then Alcotest.failf "remount diverged:\n%s" (String.concat "\n" diffs)
+
+let test_splitfs_remount () = check_remount (Splitfs.driver ())
+let test_ext4dax_remount () = check_remount (Ext4dax.driver ())
+
+(* SplitFS survives a remount even without a trailing sync: its op log must
+   reconstruct everything (ext4-DAX alone would legitimately lose state). *)
+let test_splitfs_log_replay () =
+  let h, pm, driver = mk (Splitfs.driver ()) in
+  let calls =
+    [
+      Syscall.Mkdir { path = "/d" };
+      Syscall.Creat { path = "/d/f"; fd_var = 0 };
+      Syscall.Write { fd_var = 0; data = { seed = 11; len = 300 } };
+      Syscall.Rename { src = "/d/f"; dst = "/d/g" };
+      Syscall.Close { fd_var = 0 };
+    ]
+  in
+  let _ = Vfs.Workload.run h calls in
+  let before = Vfs.Walker.capture h in
+  match driver.Vfs.Driver.mount pm with
+  | Error e -> Alcotest.failf "mount failed: %s" e
+  | Ok h2 ->
+    let diffs = Vfs.Walker.diff ~expected:before ~actual:(Vfs.Walker.capture h2) in
+    if diffs <> [] then Alcotest.failf "log replay diverged:\n%s" (String.concat "\n" diffs)
+
+let prop_splitfs_conformance =
+  QCheck.Test.make ~name:"splitfs matches oracle on random workloads" ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let calls = Helpers.random_workload ~rng ~len:20 in
+      let h, _, _ = mk (Splitfs.driver ()) in
+      Helpers.against_oracle h calls;
+      true)
+
+let prop_splitfs_remount =
+  QCheck.Test.make ~name:"splitfs log replay on random workloads" ~count:30
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let calls = Helpers.random_workload ~rng ~len:15 in
+      let h, pm, (driver : Vfs.Driver.t) = mk (Splitfs.driver ()) in
+      let _ = Vfs.Workload.run h calls in
+      let before = Vfs.Walker.capture h in
+      match driver.Vfs.Driver.mount pm with
+      | Error e -> QCheck.Test.fail_report ("mount failed: " ^ e)
+      | Ok h2 ->
+        let diffs = Vfs.Walker.diff ~expected:before ~actual:(Vfs.Walker.capture h2) in
+        if diffs <> [] then QCheck.Test.fail_report (String.concat "\n" diffs);
+        true)
+
+(* --- bug regressions --- *)
+
+let w_metadata =
+  [
+    Syscall.Mkdir { path = "/d" };
+    Syscall.Creat { path = "/d/f"; fd_var = 0 };
+    Syscall.Close { fd_var = 0 };
+    Syscall.Link { src = "/d/f"; dst = "/ln" };
+    Syscall.Unlink { path = "/ln" };
+  ]
+
+let w_write =
+  [
+    Syscall.Creat { path = "/f"; fd_var = 0 };
+    Syscall.Write { fd_var = 0; data = { seed = 1; len = 300 } };
+    Syscall.Close { fd_var = 0 };
+  ]
+
+let w_write_fsync =
+  [
+    Syscall.Creat { path = "/f"; fd_var = 0 };
+    Syscall.Write { fd_var = 0; data = { seed = 1; len = 300 } };
+    Syscall.Fsync { fd_var = 0 };
+    Syscall.Close { fd_var = 0 };
+  ]
+
+let w_rename =
+  [
+    Syscall.Creat { path = "/old"; fd_var = 0 };
+    Syscall.Write { fd_var = 0; data = { seed = 2; len = 120 } };
+    Syscall.Close { fd_var = 0 };
+    Syscall.Rename { src = "/old"; dst = "/new" };
+  ]
+
+let w_many_metadata =
+  (* Enough log entries to straddle log-page boundaries (bug 24). *)
+  List.concat_map
+    (fun i ->
+      [
+        Syscall.Creat { path = Printf.sprintf "/somefile%02d" i; fd_var = i };
+        Syscall.Close { fd_var = i };
+      ])
+    (List.init 16 Fun.id)
+
+let run bugs w =
+  let driver = Splitfs.driver ~config:(Splitfs.config ~bugs ()) () in
+  Chipmunk.Harness.test_workload driver w
+
+let expect ~name bugs workloads pred =
+  let reports = List.concat_map (fun w -> (run bugs w).Chipmunk.Harness.reports) workloads in
+  if not (List.exists (fun r -> pred r.Chipmunk.Report.kind) reports) then
+    Alcotest.failf "%s: expected kind not found among %d report(s): %s" name
+      (List.length reports)
+      (String.concat "; " (List.map Chipmunk.Report.summary reports))
+
+let is_sync_or_atom = function
+  | Chipmunk.Report.Synchrony _ | Chipmunk.Report.Atomicity _ -> true
+  | _ -> false
+
+let test_bug21 () =
+  expect ~name:"bug21"
+    { Splitfs.Bugs.none with bug21_unfenced_metadata_log = true }
+    [ w_metadata ] is_sync_or_atom
+
+let test_bug22 () =
+  expect ~name:"bug22"
+    { Splitfs.Bugs.none with bug22_unfenced_staging_data = true }
+    [ w_write_fsync; w_write ] is_sync_or_atom
+
+let test_bug23 () =
+  expect ~name:"bug23"
+    { Splitfs.Bugs.none with bug23_entry_before_data = true }
+    [ w_write ] is_sync_or_atom
+
+let test_bug24 () =
+  expect ~name:"bug24"
+    { Splitfs.Bugs.none with bug24_boundary_entry_unfenced = true }
+    [ w_many_metadata ] is_sync_or_atom
+
+let test_bug25 () =
+  expect ~name:"bug25"
+    { Splitfs.Bugs.none with bug25_rename_two_entries = true }
+    [ w_rename ]
+    (function Chipmunk.Report.Atomicity _ -> true | _ -> false)
+
+let test_clean () =
+  List.iter
+    (fun w ->
+      match (run Splitfs.Bugs.none w).Chipmunk.Harness.reports with
+      | [] -> ()
+      | rep :: _ ->
+        Alcotest.failf "splitfs false positive:\n%s" (Format.asprintf "%a" Chipmunk.Report.pp rep))
+    [ w_metadata; w_write; w_write_fsync; w_rename; w_many_metadata ]
+
+let suite =
+  [
+    Alcotest.test_case "splitfs conformance" `Quick test_splitfs_conformance;
+    Alcotest.test_case "ext4-dax conformance" `Quick test_ext4dax_conformance;
+    Alcotest.test_case "xfs-dax conformance" `Quick test_xfsdax_conformance;
+    Alcotest.test_case "splitfs remount" `Quick test_splitfs_remount;
+    Alcotest.test_case "ext4-dax remount (synced)" `Quick test_ext4dax_remount;
+    Alcotest.test_case "splitfs log replay without sync" `Quick test_splitfs_log_replay;
+    QCheck_alcotest.to_alcotest prop_splitfs_conformance;
+    QCheck_alcotest.to_alcotest prop_splitfs_remount;
+    Alcotest.test_case "clean splitfs: no false positives" `Quick test_clean;
+    Alcotest.test_case "bug 21: metadata log entry not fenced" `Quick test_bug21;
+    Alcotest.test_case "bug 22: staging data not fenced" `Quick test_bug22;
+    Alcotest.test_case "bug 23: log entry before data" `Quick test_bug23;
+    Alcotest.test_case "bug 24: page-boundary entry not fenced" `Quick test_bug24;
+    Alcotest.test_case "bug 25: rename as two entries" `Quick test_bug25;
+  ]
+
+(* --- extended attributes (DAX family only, as in the paper) --- *)
+
+let test_xattr_roundtrip () =
+  let h, _, _ = mk (Ext4dax.driver ()) in
+  let _ = Helpers.check_ok "creat" (h.Vfs.Handle.creat ~path:"/f") in
+  Helpers.check_ok "set" (h.Vfs.Handle.setxattr ~path:"/f" ~name:"user.a" ~value:"1");
+  Helpers.check_ok "set2" (h.Vfs.Handle.setxattr ~path:"/f" ~name:"user.b" ~value:"2");
+  Alcotest.(check string) "get" "1"
+    (Helpers.check_ok "get" (h.Vfs.Handle.getxattr ~path:"/f" ~name:"user.a"));
+  Alcotest.(check (list string)) "list" [ "user.a"; "user.b" ]
+    (Helpers.check_ok "list" (h.Vfs.Handle.listxattr ~path:"/f"));
+  Helpers.check_ok "remove" (h.Vfs.Handle.removexattr ~path:"/f" ~name:"user.a");
+  Helpers.check_err "gone" Vfs.Errno.ENOENT (h.Vfs.Handle.getxattr ~path:"/f" ~name:"user.a");
+  (* The oracle supports them identically. *)
+  let o = Memfs.handle () in
+  let _ = Helpers.check_ok "creat" (o.Vfs.Handle.creat ~path:"/f") in
+  Helpers.check_ok "set" (o.Vfs.Handle.setxattr ~path:"/f" ~name:"user.a" ~value:"1");
+  Alcotest.(check string) "oracle get" "1"
+    (Helpers.check_ok "get" (o.Vfs.Handle.getxattr ~path:"/f" ~name:"user.a"))
+
+let test_xattr_unsupported_elsewhere () =
+  List.iter
+    (fun (name, mk_driver) ->
+      if name <> "ext4-dax" && name <> "xfs-dax" then begin
+        let h, _, _ = mk (mk_driver ()) in
+        let _ = Helpers.check_ok "creat" (h.Vfs.Handle.creat ~path:"/f") in
+        Helpers.check_err (name ^ " setxattr") Vfs.Errno.ENOTSUP
+          (h.Vfs.Handle.setxattr ~path:"/f" ~name:"user.a" ~value:"1")
+      end)
+    Catalog.clean_drivers
+
+let test_xattr_durable_after_fsync () =
+  let h, pm, driver = mk (Ext4dax.driver ()) in
+  let fd = Helpers.check_ok "creat" (h.Vfs.Handle.creat ~path:"/f") in
+  Helpers.check_ok "set" (h.Vfs.Handle.setxattr ~path:"/f" ~name:"user.k" ~value:"vvv");
+  Helpers.check_ok "fsync" (h.Vfs.Handle.fsync ~fd);
+  match driver.Vfs.Driver.mount pm with
+  | Error e -> Alcotest.failf "remount: %s" e
+  | Ok h2 ->
+    Alcotest.(check string) "xattr survived" "vvv"
+      (Helpers.check_ok "get" (h2.Vfs.Handle.getxattr ~path:"/f" ~name:"user.k"))
+
+let test_xattr_crash_consistency () =
+  (* The weak checker compares the fsynced file's node including xattrs. *)
+  let driver = Ext4dax.driver () in
+  let w =
+    [
+      Syscall.Creat { path = "/f"; fd_var = 0 };
+      Syscall.Setxattr { path = "/f"; name = "user.x"; value = "abc" };
+      Syscall.Fsync { fd_var = 0 };
+      Syscall.Removexattr { path = "/f"; name = "user.x" };
+      Syscall.Fsync { fd_var = 0 };
+      Syscall.Close { fd_var = 0 };
+      Syscall.Sync;
+    ]
+  in
+  let r = Chipmunk.Harness.test_workload driver w in
+  match r.Chipmunk.Harness.reports with
+  | [] -> ()
+  | rep :: _ ->
+    Alcotest.failf "xattr false positive:\n%s" (Format.asprintf "%a" Chipmunk.Report.pp rep)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "xattr roundtrip on the DAX family" `Quick test_xattr_roundtrip;
+      Alcotest.test_case "xattr ENOTSUP elsewhere" `Quick test_xattr_unsupported_elsewhere;
+      Alcotest.test_case "xattr durable after fsync" `Quick test_xattr_durable_after_fsync;
+      Alcotest.test_case "xattr crash consistency under chipmunk" `Quick
+        test_xattr_crash_consistency;
+    ]
+
+(* --- white-box: staging exhaustion, log compaction, bank switching --- *)
+
+let mk_usplit () =
+  let config = Splitfs.default_config in
+  let driver = Splitfs.driver ~config () in
+  let image = Pmem.Image.create ~size:driver.Vfs.Driver.device_size in
+  let pm = Persist.Pm.create image in
+  let t = Splitfs.Usplit.mkfs pm config in
+  (t, Splitfs.Usplit.handle t, pm, driver)
+
+let test_staging_exhaustion_forces_relink () =
+  (* Default staging is 24 pages = 3072 bytes; write more than that without
+     any fsync: the implementation must sync+re-provision transparently. *)
+  let _, h, pm, driver = mk_usplit () in
+  let fd = Helpers.check_ok "creat" (h.Vfs.Handle.creat ~path:"/big") in
+  for i = 0 to 19 do
+    match h.Vfs.Handle.pwrite ~fd ~off:(i * 230) ~data:(Vfs.Syscall.bytes { seed = i; len = 230 }) with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "write %d failed: %s" i (Vfs.Errno.to_string e)
+  done;
+  let expected = Helpers.check_ok "read" (h.Vfs.Handle.read_file ~path:"/big") in
+  Alcotest.(check int) "all bytes live" (19 * 230 + 230) (String.length expected);
+  (* Everything must also survive recovery. *)
+  match driver.Vfs.Driver.mount pm with
+  | Error e -> Alcotest.failf "mount: %s" e
+  | Ok h2 ->
+    Alcotest.(check string) "content after recovery" expected
+      (Helpers.check_ok "read2" (h2.Vfs.Handle.read_file ~path:"/big"))
+
+let test_log_compaction_flips_banks () =
+  let t, h, _, _ = mk_usplit () in
+  let bank0 = t.Splitfs.Usplit.active in
+  let fd = Helpers.check_ok "creat" (h.Vfs.Handle.creat ~path:"/f") in
+  let _ = Helpers.check_ok "w" (h.Vfs.Handle.write ~fd ~data:"data") in
+  Helpers.check_ok "fsync" (h.Vfs.Handle.fsync ~fd);
+  Alcotest.(check bool) "bank flipped at commit" true (t.Splitfs.Usplit.active <> bank0);
+  (* After the relink, the file's data is kernel-owned: the compacted log
+     holds no write entries for it. *)
+  Alcotest.(check int) "log compacted to empty" 0 t.Splitfs.Usplit.log_used
+
+let test_compaction_preserves_other_files () =
+  (* fsync of one file compacts the log; a second file's staged writes must
+     survive the compaction and still replay after a crash. *)
+  let _, h, pm, driver = mk_usplit () in
+  let fd1 = Helpers.check_ok "creat a" (h.Vfs.Handle.creat ~path:"/a") in
+  let fd2 = Helpers.check_ok "creat b" (h.Vfs.Handle.creat ~path:"/b") in
+  let _ = Helpers.check_ok "w a" (h.Vfs.Handle.write ~fd:fd1 ~data:"aaa-staged") in
+  let _ = Helpers.check_ok "w b" (h.Vfs.Handle.write ~fd:fd2 ~data:"bbb-staged") in
+  Helpers.check_ok "fsync a only" (h.Vfs.Handle.fsync ~fd:fd1);
+  match driver.Vfs.Driver.mount pm with
+  | Error e -> Alcotest.failf "mount: %s" e
+  | Ok h2 ->
+    Alcotest.(check string) "synced file" "aaa-staged"
+      (Helpers.check_ok "read a" (h2.Vfs.Handle.read_file ~path:"/a"));
+    Alcotest.(check string) "unsynced file recovered from the log" "bbb-staged"
+      (Helpers.check_ok "read b" (h2.Vfs.Handle.read_file ~path:"/b"))
+
+let test_orphan_write_not_logged () =
+  (* Writes through an orphaned descriptor must not be replayed onto
+     whichever file later takes the name. *)
+  let _, h, pm, driver = mk_usplit () in
+  let fd = Helpers.check_ok "creat" (h.Vfs.Handle.creat ~path:"/name") in
+  Helpers.check_ok "unlink" (h.Vfs.Handle.unlink ~path:"/name");
+  let _ = Helpers.check_ok "orphan write" (h.Vfs.Handle.write ~fd ~data:"ghost-data") in
+  let fd2 = Helpers.check_ok "recreate" (h.Vfs.Handle.creat ~path:"/name") in
+  ignore fd2;
+  match driver.Vfs.Driver.mount pm with
+  | Error e -> Alcotest.failf "mount: %s" e
+  | Ok h2 ->
+    Alcotest.(check string) "no ghost data" ""
+      (Helpers.check_ok "read" (h2.Vfs.Handle.read_file ~path:"/name"))
+
+let test_staging_hidden () =
+  let _, h, _, _ = mk_usplit () in
+  Helpers.check_err "stat hidden" Vfs.Errno.ENOENT (h.Vfs.Handle.stat ~path:"/.staging");
+  let entries = Helpers.check_ok "readdir" (h.Vfs.Handle.readdir ~path:"/") in
+  Alcotest.(check (list string)) "root looks empty" []
+    (List.map (fun d -> d.Vfs.Types.d_name) entries);
+  Helpers.check_err "creat over hidden" Vfs.Errno.EPERM (h.Vfs.Handle.creat ~path:"/.staging")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "staging exhaustion forces relink" `Quick
+        test_staging_exhaustion_forces_relink;
+      Alcotest.test_case "log compaction flips banks" `Quick test_log_compaction_flips_banks;
+      Alcotest.test_case "compaction preserves other files" `Quick
+        test_compaction_preserves_other_files;
+      Alcotest.test_case "orphan writes are not logged" `Quick test_orphan_write_not_logged;
+      Alcotest.test_case "staging file is hidden" `Quick test_staging_hidden;
+    ]
