@@ -1,0 +1,20 @@
+# Convenience targets; the source of truth is dune.
+
+.PHONY: ci build test bench-perf clean
+
+ci: build test
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Rewrite BENCH_parallel.json (sequential vs parallel wall-clock, dedup
+# hit-rate, states/sec) so the perf trajectory is tracked across PRs.
+# Override the worker-domain count with CHIPMUNK_JOBS=N.
+bench-perf:
+	dune exec bench/main.exe parallel
+
+clean:
+	dune clean

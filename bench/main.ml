@@ -9,12 +9,22 @@
      cap-sweep    Obs. 7   - minimal replayed-writes cap per bug
      inflight     sect 3.2 - in-flight write statistics per syscall
      perf         Obs. 2 + sect 6.2 - Bechamel microbenchmarks
+     parallel     perf tracking - sequential vs --jobs, dedup hit-rate
+                  (rewrites BENCH_parallel.json for cross-PR comparison)
      ablation     DESIGN.md - coalescing design choice
 
-   Running with no argument executes everything. *)
+   Running with no argument executes everything. Campaign-level experiments
+   shard workloads across domains; set CHIPMUNK_JOBS=N to override. *)
 
 let line = String.make 78 '-'
 let header title = Printf.printf "\n%s\n%s\n%s\n" line title line
+
+(* Worker domains for the campaign-level experiments; override with
+   CHIPMUNK_JOBS=N (the perf-tracking JSON records the value used). *)
+let jobs =
+  match Sys.getenv_opt "CHIPMUNK_JOBS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> n | _ -> Chipmunk.Pool.default_jobs ())
+  | None -> Chipmunk.Pool.default_jobs ()
 
 (* ------------------------------------------------------------------ *)
 (* E1: Table 1                                                         *)
@@ -89,8 +99,8 @@ let figure3 () =
       (fun (b : Catalog.t) ->
         let ace_time =
           let r =
-            Chipmunk.Campaign.run ~opts ~stop_after_findings:1 ~max_seconds:30.0
-              (b.Catalog.driver ()) (ace_suite ())
+            Chipmunk.Campaign.run_parallel ~opts ~stop_after_findings:1 ~max_seconds:30.0
+              ~keep_sizes:false ~jobs (b.Catalog.driver ()) (ace_suite ())
           in
           match r.Chipmunk.Campaign.events with
           | e :: _ -> Some e.Chipmunk.Campaign.elapsed
@@ -152,8 +162,8 @@ let suite_stats () =
   in
   Printf.printf "suite sizes: seq-1 %d, seq-2 %d, seq-3 metadata %d (paper: 56 / 3136 / 50650)\n\n"
     seq1_n seq2_n seq3_n;
-  Printf.printf "%-12s %10s %12s %12s %10s %8s\n" "FS" "workloads" "crash pts" "crash states"
-    "false pos" "time(s)";
+  Printf.printf "%-12s %10s %12s %12s %10s %10s %8s\n" "FS" "workloads" "crash pts"
+    "crash states" "dedup" "false pos" "time(s)";
   let rows =
     List.map
       (fun (name, mk) ->
@@ -162,9 +172,10 @@ let suite_stats () =
             Seq.append (Ace.seq1 Ace.Fsync) (Seq.take 1500 (Ace.seq2 Ace.Fsync))
           else Seq.append (Ace.seq1 Ace.Strong) (Ace.seq2 Ace.Strong)
         in
-        let r = Chipmunk.Campaign.run (mk ()) suite in
-        Printf.printf "%-12s %10d %12d %12d %10d %8.1f\n" name r.Chipmunk.Campaign.workloads_run
-          r.Chipmunk.Campaign.crash_points r.Chipmunk.Campaign.crash_states
+        let r = Chipmunk.Campaign.run_parallel ~keep_sizes:false ~jobs (mk ()) suite in
+        Printf.printf "%-12s %10d %12d %12d %10d %10d %8.1f\n" name
+          r.Chipmunk.Campaign.workloads_run r.Chipmunk.Campaign.crash_points
+          r.Chipmunk.Campaign.crash_states r.Chipmunk.Campaign.dedup_hits
           (List.length r.Chipmunk.Campaign.events)
           r.Chipmunk.Campaign.elapsed;
         (name, r.Chipmunk.Campaign.crash_states))
@@ -428,6 +439,109 @@ let perf () =
   | None -> ())
 
 (* ------------------------------------------------------------------ *)
+(* Parallel campaign + dedup cache perf tracking                       *)
+
+(* Machine-readable perf snapshot so the trajectory (sequential vs
+   domain-sharded wall-clock, dedup hit-rate, states/sec) is comparable
+   across commits: every run rewrites BENCH_parallel.json in the working
+   directory. *)
+let parallel_perf () =
+  header
+    (Printf.sprintf
+       "Parallel campaign + crash-state dedup (jobs=%d, %d core(s) recommended)" jobs
+       (Domain.recommended_domain_count ()));
+  let mk_driver () =
+    match Catalog.buggy_driver "nova" with
+    | Some mk -> mk ()
+    | None -> Novafs.driver ()
+  in
+  let suite () = Seq.append (Ace.seq1 Ace.Strong) (Seq.take 600 (Ace.seq2 Ace.Strong)) in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let no_dedup = { Chipmunk.Harness.default_opts with dedup_states = false } in
+  let seq_nd, t_seq_nd =
+    time (fun () ->
+        Chipmunk.Campaign.run ~opts:no_dedup ~keep_sizes:false (mk_driver ()) (suite ()))
+  in
+  let seq, t_seq =
+    time (fun () -> Chipmunk.Campaign.run ~keep_sizes:false (mk_driver ()) (suite ()))
+  in
+  let par, t_par =
+    time (fun () ->
+        Chipmunk.Campaign.run_parallel ~keep_sizes:false ~jobs (mk_driver ()) (suite ()))
+  in
+  let fps (r : Chipmunk.Campaign.result) =
+    List.map (fun e -> e.Chipmunk.Campaign.fingerprint) r.Chipmunk.Campaign.events
+  in
+  let findings_equal = fps seq = fps par && fps seq = fps seq_nd in
+  let checked (r : Chipmunk.Campaign.result) =
+    r.Chipmunk.Campaign.crash_states - r.Chipmunk.Campaign.dedup_hits
+  in
+  let rate r t = float_of_int (checked r) /. t in
+  let hit_rate =
+    float_of_int seq.Chipmunk.Campaign.dedup_hits
+    /. float_of_int (max 1 seq.Chipmunk.Campaign.crash_states)
+  in
+  let row label (r : Chipmunk.Campaign.result) t =
+    Printf.printf "%-24s %8.2fs %10d states %8d skipped %10.0f checked/s %4d findings\n"
+      label t r.Chipmunk.Campaign.crash_states r.Chipmunk.Campaign.dedup_hits (rate r t)
+      (List.length r.Chipmunk.Campaign.events)
+  in
+  row "sequential, no dedup" seq_nd t_seq_nd;
+  row "sequential" seq t_seq;
+  row (Printf.sprintf "parallel (jobs=%d)" jobs) par t_par;
+  Printf.printf
+    "dedup hit-rate %.1f%%, dedup speedup %.2fx, parallel speedup %.2fx, findings %s\n"
+    (100.0 *. hit_rate) (t_seq_nd /. t_seq) (t_seq /. t_par)
+    (if findings_equal then "identical" else "DIFFER");
+  let obj fields =
+    "{" ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%S:%s" k v) fields) ^ "}"
+  in
+  let run_obj (r : Chipmunk.Campaign.result) t =
+    obj
+      [
+        ("seconds", Printf.sprintf "%.4f" t);
+        ("workloads", string_of_int r.Chipmunk.Campaign.workloads_run);
+        ("crash_points", string_of_int r.Chipmunk.Campaign.crash_points);
+        ("crash_states", string_of_int r.Chipmunk.Campaign.crash_states);
+        ("dedup_hits", string_of_int r.Chipmunk.Campaign.dedup_hits);
+        ("checked_states_per_sec", Printf.sprintf "%.1f" (rate r t));
+        ("findings", string_of_int (List.length r.Chipmunk.Campaign.events));
+      ]
+  in
+  let json =
+    obj
+      [
+        ("schema", "\"chipmunk-bench-parallel/1\"");
+        ("suite", "\"nova-buggy seq1 + seq2[:600]\"");
+        ("jobs", string_of_int jobs);
+        ("recommended_domains", string_of_int (Domain.recommended_domain_count ()));
+        ("sequential_no_dedup", run_obj seq_nd t_seq_nd);
+        ("sequential", run_obj seq t_seq);
+        ("parallel", run_obj par t_par);
+        ("dedup_hit_rate", Printf.sprintf "%.4f" hit_rate);
+        ("dedup_speedup", Printf.sprintf "%.3f" (t_seq_nd /. t_seq));
+        ("parallel_speedup", Printf.sprintf "%.3f" (t_seq /. t_par));
+        ("findings_equal", string_of_bool findings_equal);
+        ( "findings",
+          "["
+          ^ String.concat ","
+              (List.map
+                 (fun e -> Chipmunk.Report.to_json e.Chipmunk.Campaign.report)
+                 seq.Chipmunk.Campaign.events)
+          ^ "]" );
+      ]
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_parallel.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Ablation                                                            *)
 
 let ablation () =
@@ -478,8 +592,9 @@ let ablation () =
     Catalog.all;
   Printf.printf
     "  off: %d states, %d/25 found;  on: %d states (%.0f%%), %d/25 found\n\
-     (the heuristic trades a little coverage for fewer states, the same\n\
-     trade-off the paper discusses for Vinter's reduction)\n"
+     (with the cold-base fix — hot subsets checked both on the bare prefix and\n\
+     with the never-read units applied — the reduction loses no bug here; the\n\
+     paper discusses the same coverage-for-speed trade-off around Vinter)\n"
     !total_off !found_off !total_on
     (100.0 *. float_of_int !total_on /. float_of_int !total_off)
     !found_on;
@@ -493,7 +608,7 @@ let ablation () =
 (* ------------------------------------------------------------------ *)
 
 let all_experiments =
-  [ table1; table2; suite_stats; cap_sweep; inflight; ablation; figure3; perf ]
+  [ table1; table2; suite_stats; cap_sweep; inflight; ablation; figure3; perf; parallel_perf ]
 
 let () =
   match Sys.argv with
@@ -505,8 +620,10 @@ let () =
   | [| _; "cap-sweep" |] -> cap_sweep ()
   | [| _; "inflight" |] -> inflight ()
   | [| _; "perf" |] -> perf ()
+  | [| _; "parallel" |] -> parallel_perf ()
   | [| _; "ablation" |] -> ablation ()
   | _ ->
     prerr_endline
-      "usage: main.exe [table1|table2|figure3|suite-stats|cap-sweep|inflight|perf|ablation]";
+      "usage: main.exe \
+       [table1|table2|figure3|suite-stats|cap-sweep|inflight|perf|parallel|ablation]";
     exit 1

@@ -32,9 +32,23 @@ let cap_arg =
   let doc = "Cap on in-flight writes replayed per crash state (0 = exhaustive)." in
   Arg.(value & opt int 0 & info [ "cap" ] ~docv:"N" ~doc)
 
-let opts_of_cap cap =
-  if cap <= 0 then Chipmunk.Harness.default_opts
-  else { Chipmunk.Harness.default_opts with cap = Some cap }
+let opts_of_cap ?(dedup = true) cap =
+  let opts =
+    if cap <= 0 then Chipmunk.Harness.default_opts
+    else { Chipmunk.Harness.default_opts with cap = Some cap }
+  in
+  { opts with dedup_states = dedup }
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the campaign (0 = one per core). 1 runs sequentially; findings \
+     are identical either way."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let no_dedup_arg =
+  let doc = "Disable the crash-state dedup cache (mount and check every enumerated state)." in
+  Arg.(value & flag & info [ "no-dedup" ] ~doc)
 
 let list_cmd =
   let run () =
@@ -69,7 +83,7 @@ let max_workloads_arg =
   Arg.(value & opt int 0 & info [ "max-workloads" ] ~docv:"N" ~doc)
 
 let ace_cmd =
-  let run fs buggy suite cap max_workloads =
+  let run fs buggy suite cap max_workloads jobs no_dedup =
     match driver_of_name ~buggy fs with
     | Error e ->
       prerr_endline e;
@@ -91,14 +105,19 @@ let ace_cmd =
         1
       | Ok workloads ->
         let max_workloads = if max_workloads = 0 then None else Some max_workloads in
+        let opts = opts_of_cap ~dedup:(not no_dedup) cap in
         let r =
-          Chipmunk.Campaign.run ~opts:(opts_of_cap cap) ?max_workloads driver workloads
+          if jobs = 1 then Chipmunk.Campaign.run ~opts ?max_workloads driver workloads
+          else
+            let jobs = if jobs <= 0 then None else Some jobs in
+            Chipmunk.Campaign.run_parallel ~opts ?max_workloads ?jobs driver workloads
         in
         Printf.printf
-          "%s/%s: %d workloads, %d crash points, %d crash states, %.2fs, max in-flight %d\n"
+          "%s/%s: %d workloads, %d crash points, %d crash states (%d dedup-skipped), \
+           %.2fs, max in-flight %d\n"
           fs suite r.Chipmunk.Campaign.workloads_run r.Chipmunk.Campaign.crash_points
-          r.Chipmunk.Campaign.crash_states r.Chipmunk.Campaign.elapsed
-          r.Chipmunk.Campaign.max_in_flight;
+          r.Chipmunk.Campaign.crash_states r.Chipmunk.Campaign.dedup_hits
+          r.Chipmunk.Campaign.elapsed r.Chipmunk.Campaign.max_in_flight;
         if r.Chipmunk.Campaign.events = [] then print_endline "no bugs found"
         else begin
           Printf.printf "%d unique finding(s):\n" (List.length r.Chipmunk.Campaign.events);
@@ -113,7 +132,9 @@ let ace_cmd =
   in
   Cmd.v
     (Cmd.info "ace" ~doc:"Run an ACE workload suite under Chipmunk")
-    Term.(const run $ fs_arg $ buggy_arg $ suite_arg $ cap_arg $ max_workloads_arg)
+    Term.(
+      const run $ fs_arg $ buggy_arg $ suite_arg $ cap_arg $ max_workloads_arg $ jobs_arg
+      $ no_dedup_arg)
 
 let execs_arg =
   let doc = "Maximum fuzzer executions." in

@@ -12,6 +12,7 @@ type result = {
   workloads_run : int;
   crash_states : int;
   crash_points : int;
+  dedup_hits : int;
   elapsed : float;
   in_flight_sizes : int list;
   max_in_flight : int;
@@ -19,15 +20,80 @@ type result = {
 
 exception Done
 
-let run ?opts ?stop_after_findings ?max_workloads ?max_seconds driver suite =
+(* Shared per-campaign accumulator: merging one workload's harness result
+   must be identical between the sequential and the parallel runner (the
+   parallel runner feeds results in workload-index order, so the
+   first-workload-wins dedup below is deterministic under any schedule). *)
+type acc = {
+  seen : (string, unit) Hashtbl.t;
+  mutable events : event list;  (* newest first *)
+  mutable workloads : int;
+  mutable states : int;
+  mutable points : int;
+  mutable dedups : int;
+  mutable sizes : int list;
+  mutable max_if : int;
+  keep_sizes : bool;
+}
+
+let acc_create ~keep_sizes =
+  {
+    seen = Hashtbl.create 32;
+    events = [];
+    workloads = 0;
+    states = 0;
+    points = 0;
+    dedups = 0;
+    sizes = [];
+    max_if = 0;
+    keep_sizes;
+  }
+
+(* Fold one workload's result in; calls [on_new_finding] for each
+   fingerprint not seen earlier in the campaign. *)
+let acc_add acc ~name ~index ~elapsed ~on_new_finding (r : Harness.result) =
+  acc.workloads <- acc.workloads + 1;
+  acc.states <- acc.states + r.Harness.stats.Harness.crash_states;
+  acc.points <- acc.points + r.Harness.stats.Harness.crash_points;
+  acc.dedups <- acc.dedups + r.Harness.stats.Harness.dedup_hits;
+  if acc.keep_sizes then
+    acc.sizes <- List.rev_append r.Harness.stats.Harness.in_flight_sizes acc.sizes;
+  acc.max_if <- max acc.max_if r.Harness.stats.Harness.max_in_flight;
+  List.iter
+    (fun report ->
+      let fp = Report.fingerprint report in
+      if not (Hashtbl.mem acc.seen fp) then begin
+        Hashtbl.replace acc.seen fp ();
+        acc.events <-
+          {
+            fingerprint = fp;
+            report;
+            workload_name = name;
+            workload_index = index;
+            elapsed;
+            states_so_far = acc.states;
+          }
+          :: acc.events;
+        on_new_finding ()
+      end)
+    r.Harness.reports
+
+let acc_result acc ~elapsed =
+  {
+    events = List.rev acc.events;
+    workloads_run = acc.workloads;
+    crash_states = acc.states;
+    crash_points = acc.points;
+    dedup_hits = acc.dedups;
+    elapsed;
+    in_flight_sizes = acc.sizes;
+    max_in_flight = acc.max_if;
+  }
+
+let run ?opts ?stop_after_findings ?max_workloads ?max_seconds ?(keep_sizes = true) driver
+    suite =
   let t0 = Unix.gettimeofday () in
-  let seen : (string, unit) Hashtbl.t = Hashtbl.create 32 in
-  let events = ref [] in
-  let workloads = ref 0 in
-  let states = ref 0 in
-  let points = ref 0 in
-  let sizes = ref [] in
-  let max_if = ref 0 in
+  let acc = acc_create ~keep_sizes in
   (try
      Seq.iteri
        (fun i (name, workload) ->
@@ -36,39 +102,58 @@ let run ?opts ?stop_after_findings ?max_workloads ?max_seconds driver suite =
          | Some s when Unix.gettimeofday () -. t0 > s -> raise Done
          | _ -> ());
          let r = Harness.test_workload ?opts driver workload in
-         incr workloads;
-         states := !states + r.Harness.stats.Harness.crash_states;
-         points := !points + r.Harness.stats.Harness.crash_points;
-         sizes := r.Harness.stats.Harness.in_flight_sizes @ !sizes;
-         max_if := max !max_if r.Harness.stats.Harness.max_in_flight;
-         List.iter
-           (fun report ->
-             let fp = Report.fingerprint report in
-             if not (Hashtbl.mem seen fp) then begin
-               Hashtbl.replace seen fp ();
-               events :=
-                 {
-                   fingerprint = fp;
-                   report;
-                   workload_name = name;
-                   workload_index = i;
-                   elapsed = Unix.gettimeofday () -. t0;
-                   states_so_far = !states;
-                 }
-                 :: !events;
-               match stop_after_findings with
-               | Some n when Hashtbl.length seen >= n -> raise Done
-               | _ -> ()
-             end)
-           r.Harness.reports)
+         acc_add acc ~name ~index:i
+           ~elapsed:(Unix.gettimeofday () -. t0)
+           ~on_new_finding:(fun () ->
+             match stop_after_findings with
+             | Some n when Hashtbl.length acc.seen >= n -> raise Done
+             | _ -> ())
+           r)
        suite
    with Done -> ());
-  {
-    events = List.rev !events;
-    workloads_run = !workloads;
-    crash_states = !states;
-    crash_points = !points;
-    elapsed = Unix.gettimeofday () -. t0;
-    in_flight_sizes = !sizes;
-    max_in_flight = !max_if;
-  }
+  acc_result acc ~elapsed:(Unix.gettimeofday () -. t0)
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let run_parallel ?opts ?stop_after_findings ?max_workloads ?max_seconds ?(keep_sizes = true)
+    ?jobs driver suite =
+  let t0 = Unix.gettimeofday () in
+  let suite = match max_workloads with None -> suite | Some m -> Seq.take m suite in
+  (* Live early-stop state, updated under the pool lock as workloads finish
+     (in completion order). It only decides when to stop dispatching; the
+     returned result is merged deterministically below. *)
+  let live_seen : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let found = Atomic.make 0 in
+  let stop () =
+    (match max_seconds with Some s -> Unix.gettimeofday () -. t0 > s | None -> false)
+    || match stop_after_findings with Some n -> Atomic.get found >= n | None -> false
+  in
+  let on_result _index ((r : Harness.result), _done_at) =
+    List.iter
+      (fun report ->
+        let fp = Report.fingerprint report in
+        if not (Hashtbl.mem live_seen fp) then begin
+          Hashtbl.replace live_seen fp ();
+          Atomic.incr found
+        end)
+      r.Harness.reports
+  in
+  let work (_name, workload) =
+    let r = Harness.test_workload ?opts driver workload in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let completed = Pool.map ?jobs ~stop ~on_result work suite in
+  (* Deterministic merge: completed workloads arrive sorted by workload
+     index, so fingerprint dedup ties always resolve to the lowest index,
+     independent of domain scheduling. *)
+  let acc = acc_create ~keep_sizes in
+  List.iter
+    (fun (i, (name, _workload), (r, done_at)) ->
+      acc_add acc ~name ~index:i ~elapsed:done_at ~on_new_finding:(fun () -> ()) r)
+    completed;
+  let result = acc_result acc ~elapsed:(Unix.gettimeofday () -. t0) in
+  (* Workloads past the n-th finding may already have been dispatched;
+     truncate to match the sequential runner's contract. *)
+  match stop_after_findings with
+  | Some n when List.length result.events > n -> { result with events = take n result.events }
+  | _ -> result

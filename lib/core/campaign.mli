@@ -1,14 +1,20 @@
 (** Campaign runner: drive the harness over a suite of workloads and record
     when each unique bug surfaced — the measurement behind the paper's
     Figure 3 (cumulative time to find bugs) and the section 4.3 suite
-    statistics. *)
+    statistics.
+
+    Two drivers share one deterministic merge: {!run} tests workloads
+    sequentially in suite order; {!run_parallel} shards the suite across
+    OCaml 5 domains (see {!Pool}) and merges results in workload-index
+    order, so both produce the same finding fingerprints attributed to the
+    same workload indices. *)
 
 type event = {
   fingerprint : string;
   report : Report.t;
   workload_name : string;
   workload_index : int;  (** Position of the workload in the suite. *)
-  elapsed : float;  (** Seconds of CPU-equivalent wall time since start. *)
+  elapsed : float;  (** Seconds of wall time since campaign start. *)
   states_so_far : int;  (** Crash states checked before the discovery. *)
 }
 
@@ -17,8 +23,13 @@ type result = {
   workloads_run : int;
   crash_states : int;
   crash_points : int;
+  dedup_hits : int;
+      (** Crash states skipped by the harness dedup cache (see
+          {!Harness.stats.dedup_hits}), summed over the campaign. *)
   elapsed : float;
-  in_flight_sizes : int list;  (** One sample per crash point. *)
+  in_flight_sizes : int list;
+      (** One sample per crash point, unordered; empty when the campaign
+          was run with [~keep_sizes:false]. *)
   max_in_flight : int;
 }
 
@@ -27,8 +38,37 @@ val run :
   ?stop_after_findings:int ->
   ?max_workloads:int ->
   ?max_seconds:float ->
+  ?keep_sizes:bool ->
   Vfs.Driver.t ->
   (string * Vfs.Syscall.t list) Seq.t ->
   result
 (** Run workloads in suite order, deduplicating findings by fingerprint
-    across the whole campaign. *)
+    across the whole campaign. [keep_sizes] (default [true]) controls
+    whether the per-crash-point in-flight size samples are retained; long
+    campaigns that do not consume them should pass [false] so the
+    accumulator stays O(1) per crash point. *)
+
+val run_parallel :
+  ?opts:Harness.opts ->
+  ?stop_after_findings:int ->
+  ?max_workloads:int ->
+  ?max_seconds:float ->
+  ?keep_sizes:bool ->
+  ?jobs:int ->
+  Vfs.Driver.t ->
+  (string * Vfs.Syscall.t list) Seq.t ->
+  result
+(** Like {!run}, but shards the suite across [jobs] worker domains
+    (default {!Pool.default_jobs}; [jobs <= 1] degenerates to a sequential
+    run). Each worker runs {!Harness.test_workload} on its own device
+    image, so no harness state is shared. Findings, their fingerprints and
+    their [workload_index] attributions are deterministic — identical to
+    {!run} on the same suite — because results are merged in workload-index
+    order with ties broken by lowest index.
+
+    [stop_after_findings] and [max_seconds] stop the campaign from
+    dispatching further workloads once satisfied; in-flight workloads still
+    complete (and are merged), so with these set, [workloads_run] may
+    exceed what the sequential runner would have executed. The [events]
+    list is truncated to [stop_after_findings] entries. [elapsed] on each
+    event is the wall-clock completion time of the workload that found it. *)

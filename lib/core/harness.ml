@@ -11,6 +11,7 @@ type opts = {
   stop_on_first : bool;
   granularity : Pm.granularity;
   read_set_heuristic : bool;
+  dedup_states : bool;
 }
 
 let default_opts =
@@ -23,6 +24,7 @@ let default_opts =
     stop_on_first = false;
     granularity = Pm.Function_level;
     read_set_heuristic = false;
+    dedup_states = true;
   }
 
 type stats = {
@@ -32,6 +34,7 @@ type stats = {
   mutable max_in_flight : int;
   mutable fences : int;
   mutable in_flight_sizes : int list;
+  mutable dedup_hits : int;
 }
 
 type result = {
@@ -151,6 +154,7 @@ let test_workload ?(opts = default_opts) (driver : Vfs.Driver.t) calls =
       max_in_flight = 0;
       fences = 0;
       in_flight_sizes = [];
+      dedup_hits = 0;
     }
   in
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -187,14 +191,20 @@ let test_workload ?(opts = default_opts) (driver : Vfs.Driver.t) calls =
         end)
       kinds
   in
-  let check_state ~phase units_arr subset_idxs ~n =
-    stats.crash_states <- stats.crash_states + 1;
+  (* Crash-state dedup cache (Vinter-style, per crash point): the checker's
+     verdict is a function of the crash-state image alone, so two subsets
+     whose writes produce byte-identical images must check identically.
+     Keyed by the effective delta against the replay image (the prefix
+     state); only the first state with a given delta is mounted and
+     checked. The empty delta is the prefix state itself, always checked
+     first as the empty subset. *)
+  let read_replay off len = Image.read replay ~off ~len in
+  let check_state_now ~phase ~replay_units ~subset_units ~n =
     let undo = Persist.Undo.create replay in
-    let subset_units = List.map (fun i -> units_arr.(i)) subset_idxs in
     List.iter
       (fun (u : Coalesce.t) ->
         List.iter (fun (addr, data) -> Persist.Undo.write_string undo ~off:addr data) u.parts)
-      subset_units;
+      replay_units;
     let pm2 = Pm.create replay in
     Pm.set_undo pm2 (Some undo);
     let kinds =
@@ -225,7 +235,28 @@ let test_workload ?(opts = default_opts) (driver : Vfs.Driver.t) calls =
     Persist.Undo.rollback undo;
     let subset_seqs = List.map (fun (u : Coalesce.t) -> u.Coalesce.seq) subset_units in
     emit ~phase ~subset_seqs ~n kinds
-
+  in
+  let check_state ~phase ~point_seen ~disjoint ~base_units units_arr subset_idxs ~n =
+    stats.crash_states <- stats.crash_states + 1;
+    let subset_units = List.map (fun i -> units_arr.(i)) subset_idxs in
+    let replay_units = base_units @ subset_units in
+    let skip =
+      opts.dedup_states
+      &&
+      let key =
+        Coalesce.delta_key
+          (Coalesce.effective_delta ~read:read_replay ~assume_disjoint:disjoint replay_units)
+      in
+      if Hashtbl.mem point_seen key then begin
+        stats.dedup_hits <- stats.dedup_hits + 1;
+        true
+      end
+      else begin
+        Hashtbl.replace point_seen key ();
+        false
+      end
+    in
+    if not skip then check_state_now ~phase ~replay_units ~subset_units ~n
   in
   (* The Vinter-style read-set heuristic (paper section 6.2): probe-mount
      the fully-fenced prefix state with a read recorder armed, then keep
@@ -264,23 +295,38 @@ let test_workload ?(opts = default_opts) (driver : Vfs.Driver.t) calls =
     in
     if should_check then begin
       stats.crash_points <- stats.crash_points + 1;
-      let units_arr = Array.of_list (List.rev !vec) in
-      let units_arr =
-        if opts.read_set_heuristic && Array.length units_arr > 0 then begin
+      let all_units = List.rev !vec in
+      let units_arr, cold_units =
+        if opts.read_set_heuristic && all_units <> [] then begin
           let reads = recovery_read_set () in
-          let hot = Array.of_list (List.filter (overlaps_reads reads) (Array.to_list units_arr)) in
-          (* Keep at least the full vector semantics when nothing is hot:
-             the empty subset is still checked. *)
-          hot
+          let hot, cold = List.partition (overlaps_reads reads) all_units in
+          (Array.of_list hot, cold)
         end
-        else units_arr
+        else (Array.of_list all_units, [])
       in
+      (* Under the read-set heuristic, subsets are enumerated over the hot
+         units only — but the cold (never-read) units still exist, and
+         hot-subset states must also be constructed on the base that has
+         them applied: recovery cannot observe cold writes, yet the checker
+         can (file data is typically cold), so each hot subset is checked
+         both without the cold units (prefix base, where un-persisted cold
+         data exposes atomicity/torn-data bugs) and with all of them
+         applied (the base the next crash point builds on, where persisted
+         cold damage surfaces). With nothing hot this keeps the full-vector
+         state checked. Without the heuristic there are no cold units and
+         the single prefix base is used. *)
+      let bases = if cold_units = [] then [ [] ] else [ []; cold_units ] in
       let n = Array.length units_arr in
       stats.max_in_flight <- max stats.max_in_flight n;
       stats.in_flight_sizes <- n :: stats.in_flight_sizes;
+      let point_seen : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+      let disjoint = not (Coalesce.overlapping all_units) in
       ignore
         (enumerate_subsets ~n ~cap:opts.cap ~limit:opts.max_states_per_point (fun idxs ->
-             check_state ~phase units_arr idxs ~n))
+             List.iter
+               (fun base_units ->
+                 check_state ~phase ~point_seen ~disjoint ~base_units units_arr idxs ~n)
+               bases))
     end
   in
   let apply_all () =

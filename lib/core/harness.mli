@@ -29,7 +29,19 @@ type opts = {
           could adopt by recording PM read functions (section 6.2): at each
           crash point, probe-mount the prefix state while recording PM
           loads, and enumerate subsets only over the in-flight writes that
-          recovery actually reads. Off by default. *)
+          recovery actually reads. Each hot subset is checked on two bases:
+          the bare prefix, and the prefix with every cold (never-read) unit
+          applied — cold writes are invisible to recovery but not to the
+          checker, so hot-subset states must also be constructed on the
+          base the next crash point builds on. Off by default. *)
+  dedup_states : bool;
+      (** Crash-state dedup cache (Vinter deduplicates crash images by
+          content before tracing them): per crash point, key each enumerated
+          state by its effective delta — the (address, bytes) writes that
+          actually change the replay image — and mount/walk/check only the
+          first state with a given key. Byte-identical images must check
+          identically, so detected reports are unchanged; skips are counted
+          in [stats.dedup_hits]. On by default. *)
 }
 
 val default_opts : opts
@@ -41,6 +53,12 @@ type stats = {
   mutable max_in_flight : int;  (** Largest coalesced in-flight vector seen. *)
   mutable fences : int;
   mutable in_flight_sizes : int list;  (** One sample per crash point. *)
+  mutable dedup_hits : int;
+      (** Crash states skipped by the dedup cache: enumerated subsets whose
+          effective delta matched an already-checked state at the same
+          crash point. [crash_states] still counts every enumerated state,
+          so the mount+check work actually done is
+          [crash_states - dedup_hits]. *)
 }
 
 type result = {

@@ -82,6 +82,57 @@ let summary t =
   in
   Printf.sprintf "[%s] %s, crash %s" t.fs what where
 
+(* Minimal JSON encoding (strings, ints, lists, objects) — enough for the
+   machine-readable bench/CI outputs without an external dependency. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+let json_int_opt = function None -> "null" | Some i -> string_of_int i
+let json_list items = "[" ^ String.concat "," items ^ "]"
+let json_obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> json_str k ^ ":" ^ v) fields) ^ "}"
+
+let evidence_fields = function
+  | Unmountable m | Recovery_fault m | Unusable m -> [ ("evidence", json_str m) ]
+  | Atomicity { syscall; diffs } | Synchrony { syscall; diffs } ->
+    [ ("syscall", json_str syscall); ("diffs", json_list (List.map json_str diffs)) ]
+  | Torn_data { path; detail } -> [ ("path", json_str path); ("detail", json_str detail) ]
+  | Inaccessible { path; error } -> [ ("path", json_str path); ("error", json_str error) ]
+
+let to_json t =
+  json_obj
+    ([
+       ("fs", json_str t.fs);
+       ("kind", json_str (kind_label t.kind));
+       ("fingerprint", json_str (fingerprint t));
+       ("summary", json_str (summary t));
+       ( "crash_point",
+         json_obj
+           [
+             ("fence_no", string_of_int t.crash_point.fence_no);
+             ("during_syscall", json_int_opt t.crash_point.during_syscall);
+             ("after_syscall", json_int_opt t.crash_point.after_syscall);
+             ("subset", json_list (List.map string_of_int t.crash_point.subset));
+             ("in_flight", string_of_int t.crash_point.in_flight);
+           ] );
+       ( "workload",
+         json_list (List.map (fun c -> json_str (Vfs.Syscall.to_string c)) t.workload) );
+     ]
+    @ evidence_fields t.kind)
+
 let pp ppf t =
   Format.fprintf ppf "=== BUG REPORT (%s) ===@." t.fs;
   Format.fprintf ppf "%s@." (summary t);

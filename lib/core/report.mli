@@ -43,3 +43,9 @@ val kind_label : kind -> string
 val summary : t -> string
 val pp : Format.formatter -> t -> unit
 (** Full report: workload listing, crash point, evidence. *)
+
+val to_json : t -> string
+(** The report as a self-contained JSON object (fs, kind, crash point,
+    workload listing, evidence, fingerprint) — the machine-readable form
+    used by [BENCH_parallel.json] and other tooling that tracks findings
+    across runs. *)

@@ -16,5 +16,6 @@ let () =
       ("catalog", Test_catalog.suite);
       ("codecs", Test_codecs.suite);
       ("crash-battery", Test_crash_battery.suite);
+      ("parallel", Test_parallel.suite);
       ("stress", Test_stress.suite);
     ]

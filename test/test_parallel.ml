@@ -1,0 +1,244 @@
+(* Tests for the performance layer: the domain pool, parallel campaigns
+   being bit-identical to sequential ones, the crash-state dedup cache
+   changing no detected report, and the read-set heuristic's cold-unit base
+   (the fix for hot subsets being constructed on the wrong image). *)
+
+module Campaign = Chipmunk.Campaign
+module Harness = Chipmunk.Harness
+module Pool = Chipmunk.Pool
+
+(* --- Pool --- *)
+
+let test_pool_map_ordered () =
+  let inputs = List.init 100 Fun.id in
+  let out = Pool.map ~jobs:4 (fun x -> x * x) (List.to_seq inputs) in
+  Alcotest.(check int) "all tasks ran" 100 (List.length out);
+  List.iteri
+    (fun k (i, x, y) ->
+      Alcotest.(check int) "index order" k i;
+      Alcotest.(check int) "input preserved" k x;
+      Alcotest.(check int) "output matches" (k * k) y)
+    out
+
+let test_pool_sequential_fallback () =
+  let out = Pool.map ~jobs:1 (fun x -> x + 1) (List.to_seq [ 10; 20; 30 ]) in
+  Alcotest.(check (list (pair int int)))
+    "jobs=1 identical semantics"
+    [ (0, 11); (1, 21); (2, 31) ]
+    (List.map (fun (i, _, y) -> (i, y)) out)
+
+let test_pool_stop_prefix () =
+  (* Once [stop] flips, no new tasks dispatch; completed indices form a
+     contiguous prefix. *)
+  let stopped = ref false in
+  let out =
+    Pool.map ~jobs:3
+      ~stop:(fun () -> !stopped)
+      ~on_result:(fun i _ -> if i >= 5 then stopped := true)
+      (fun x -> x)
+      (Seq.init 1000 Fun.id)
+  in
+  let n = List.length out in
+  Alcotest.(check bool) "stopped early" true (n < 1000);
+  List.iteri (fun k (i, _, _) -> Alcotest.(check int) "contiguous prefix" k i) out
+
+let test_pool_exception_propagates () =
+  Alcotest.check_raises "worker exception re-raised" (Failure "boom") (fun () ->
+      ignore
+        (Pool.map ~jobs:2
+           (fun x -> if x = 7 then failwith "boom" else x)
+           (Seq.init 50 Fun.id)))
+
+let test_pool_lazy_seq () =
+  (* The sequence is forced at most once per element, even across domains. *)
+  let forced = Atomic.make 0 in
+  let seq =
+    Seq.init 64 (fun i ->
+        Atomic.incr forced;
+        i)
+  in
+  let out = Pool.map ~jobs:4 (fun x -> x) seq in
+  Alcotest.(check int) "every element seen" 64 (List.length out);
+  Alcotest.(check int) "each element forced once" 64 (Atomic.get forced)
+
+(* --- Parallel campaigns are deterministic --- *)
+
+let catalog_suite () =
+  Catalog.all
+  |> List.map (fun (b : Catalog.t) ->
+         (Printf.sprintf "bug-%02d-%s" b.Catalog.bug_no b.Catalog.fs, b.Catalog.trigger))
+  |> List.to_seq
+
+let nova_buggy () =
+  match Catalog.buggy_driver "nova" with
+  | Some mk -> mk ()
+  | None -> Alcotest.fail "no buggy nova driver"
+
+let event_key (e : Campaign.event) = (e.fingerprint, e.workload_index, e.workload_name)
+
+let test_parallel_matches_sequential () =
+  let driver = nova_buggy () in
+  let seq_r = Campaign.run driver (catalog_suite ()) in
+  let par_r = Campaign.run_parallel ~jobs:4 driver (catalog_suite ()) in
+  Alcotest.(check bool) "found something" true (seq_r.Campaign.events <> []);
+  Alcotest.(check (list (triple string int string)))
+    "same fingerprints, workload indices and names, in discovery order"
+    (List.map event_key seq_r.Campaign.events)
+    (List.map event_key par_r.Campaign.events);
+  Alcotest.(check int) "same workload count" seq_r.Campaign.workloads_run
+    par_r.Campaign.workloads_run;
+  Alcotest.(check int) "same crash states" seq_r.Campaign.crash_states
+    par_r.Campaign.crash_states;
+  Alcotest.(check int) "same crash points" seq_r.Campaign.crash_points
+    par_r.Campaign.crash_points;
+  Alcotest.(check int) "same dedup hits" seq_r.Campaign.dedup_hits par_r.Campaign.dedup_hits
+
+let test_parallel_repeatable () =
+  (* Two parallel runs with different job counts agree with each other. *)
+  let driver = nova_buggy () in
+  let r2 = Campaign.run_parallel ~jobs:2 driver (catalog_suite ()) in
+  let r4 = Campaign.run_parallel ~jobs:4 driver (catalog_suite ()) in
+  Alcotest.(check (list (triple string int string)))
+    "jobs=2 and jobs=4 agree"
+    (List.map event_key r2.Campaign.events)
+    (List.map event_key r4.Campaign.events)
+
+let test_keep_sizes () =
+  let driver = nova_buggy () in
+  let suite () = Seq.take 3 (catalog_suite ()) in
+  let with_sizes = Campaign.run driver (suite ()) in
+  let without = Campaign.run ~keep_sizes:false driver (suite ()) in
+  Alcotest.(check bool) "sizes retained by default" true (with_sizes.Campaign.in_flight_sizes <> []);
+  Alcotest.(check int)
+    "one sample per crash point"
+    with_sizes.Campaign.crash_points
+    (List.length with_sizes.Campaign.in_flight_sizes);
+  Alcotest.(check (list int)) "dropped on request" [] without.Campaign.in_flight_sizes
+
+(* --- Crash-state dedup cache --- *)
+
+let test_dedup_equivalent_reports () =
+  let total_hits = ref 0 in
+  List.iter
+    (fun (b : Catalog.t) ->
+      let run dedup =
+        let opts = { Harness.default_opts with dedup_states = dedup } in
+        Harness.test_workload ~opts (b.Catalog.driver ()) b.Catalog.trigger
+      in
+      let on = run true and off = run false in
+      Alcotest.(check (list string))
+        (Printf.sprintf "bug %d (%s): same reports with cache on and off" b.Catalog.bug_no
+           b.Catalog.fs)
+        (List.map Chipmunk.Report.fingerprint off.Harness.reports)
+        (List.map Chipmunk.Report.fingerprint on.Harness.reports);
+      Alcotest.(check int)
+        "cache does not change the enumerated state count" off.Harness.stats.Harness.crash_states
+        on.Harness.stats.Harness.crash_states;
+      Alcotest.(check int) "cache off never skips" 0 off.Harness.stats.Harness.dedup_hits;
+      total_hits := !total_hits + on.Harness.stats.Harness.dedup_hits)
+    Catalog.all;
+  Alcotest.(check bool)
+    (Printf.sprintf "nonzero hit count over the catalog (%d hits)" !total_hits)
+    true (!total_hits > 0)
+
+let test_dedup_skips_equal_states () =
+  (* A workload whose trailing stores rewrite bytes already on media: the
+     subsets differing only in those no-op writes collapse to one image. *)
+  let w =
+    [
+      Vfs.Syscall.Creat { path = "/a"; fd_var = 0 };
+      Vfs.Syscall.Write { fd_var = 0; data = { seed = 5; len = 256 } };
+      Vfs.Syscall.Close { fd_var = 0 };
+    ]
+  in
+  let r = Harness.test_workload (Novafs.driver ()) w in
+  Alcotest.(check bool) "clean workload" true (r.Harness.reports = []);
+  Alcotest.(check bool)
+    (Printf.sprintf "some duplicate crash states skipped (%d of %d)"
+       r.Harness.stats.Harness.dedup_hits r.Harness.stats.Harness.crash_states)
+    true
+    (r.Harness.stats.Harness.dedup_hits > 0)
+
+(* --- Effective delta (the dedup key) --- *)
+
+let unit ~seq parts =
+  { Chipmunk.Coalesce.seq; parts; kind = Persist.Trace.Nt; func = "memcpy_nt"; syscall = None }
+
+let read_of_image img off len = Pmem.Image.read img ~off ~len
+
+let test_effective_delta_drops_noop_writes () =
+  let img = Pmem.Image.create ~size:256 in
+  Pmem.Image.write_string img ~off:16 "hello";
+  let units = [ unit ~seq:0 [ (16, "hello") ]; unit ~seq:1 [ (32, "world") ] ] in
+  Alcotest.(check (list (pair int string)))
+    "only the write that changes the image survives"
+    [ (32, "world") ]
+    (Chipmunk.Coalesce.effective_delta ~read:(read_of_image img) units)
+
+let test_effective_delta_overlap_last_writer_wins () =
+  let img = Pmem.Image.create ~size:256 in
+  let units = [ unit ~seq:0 [ (10, "aaaa") ]; unit ~seq:1 [ (12, "bb") ] ] in
+  Alcotest.(check bool) "units overlap" true (Chipmunk.Coalesce.overlapping units);
+  Alcotest.(check (list (pair int string)))
+    "byte-accurate replay of the overlap"
+    [ (10, "aabb") ]
+    (Chipmunk.Coalesce.effective_delta ~read:(read_of_image img) units);
+  (* The overlapping pair and its net effect written directly must agree. *)
+  Alcotest.(check string)
+    "same key as the collapsed write"
+    (Chipmunk.Coalesce.delta_key [ (10, "aabb") ])
+    (Chipmunk.Coalesce.delta_key
+       (Chipmunk.Coalesce.effective_delta ~read:(read_of_image img) units))
+
+let test_effective_delta_empty_is_prefix () =
+  let img = Pmem.Image.create ~size:64 in
+  Pmem.Image.write_string img ~off:0 "same";
+  let units = [ unit ~seq:0 [ (0, "same") ] ] in
+  Alcotest.(check (list (pair int string)))
+    "an all-no-op subset has the empty delta" []
+    (Chipmunk.Coalesce.effective_delta ~read:(read_of_image img) units);
+  Alcotest.(check string) "and the empty key"
+    (Chipmunk.Coalesce.delta_key [])
+    (Chipmunk.Coalesce.delta_key (Chipmunk.Coalesce.effective_delta ~read:(read_of_image img) units))
+
+(* --- Read-set heuristic: cold units applied with the prefix --- *)
+
+let test_read_set_cold_base_regression () =
+  (* Before the cold-base fix, hot subsets were constructed on the bare
+     prefix only, so damage in units recovery never reads (bug 3's log
+     extension page) could never surface. With the fix every catalogued
+     bug is found under the heuristic. *)
+  let opts = { Harness.default_opts with read_set_heuristic = true } in
+  List.iter
+    (fun (b : Catalog.t) ->
+      let r = Harness.test_workload ~opts (b.Catalog.driver ()) b.Catalog.trigger in
+      Alcotest.(check bool)
+        (Printf.sprintf "bug %d (%s) found under the read-set heuristic" b.Catalog.bug_no
+           b.Catalog.fs)
+        true (r.Harness.reports <> []))
+    Catalog.all
+
+let suite =
+  [
+    Alcotest.test_case "pool: map returns index order" `Quick test_pool_map_ordered;
+    Alcotest.test_case "pool: jobs=1 sequential fallback" `Quick test_pool_sequential_fallback;
+    Alcotest.test_case "pool: stop gives a contiguous prefix" `Quick test_pool_stop_prefix;
+    Alcotest.test_case "pool: exceptions propagate" `Quick test_pool_exception_propagates;
+    Alcotest.test_case "pool: sequence forced once per element" `Quick test_pool_lazy_seq;
+    Alcotest.test_case "campaign: parallel == sequential" `Quick test_parallel_matches_sequential;
+    Alcotest.test_case "campaign: parallel repeatable across job counts" `Quick
+      test_parallel_repeatable;
+    Alcotest.test_case "campaign: keep_sizes controls retention" `Quick test_keep_sizes;
+    Alcotest.test_case "dedup cache: reports identical on/off" `Quick
+      test_dedup_equivalent_reports;
+    Alcotest.test_case "dedup cache: duplicate states skipped" `Quick
+      test_dedup_skips_equal_states;
+    Alcotest.test_case "effective delta: no-op writes dropped" `Quick
+      test_effective_delta_drops_noop_writes;
+    Alcotest.test_case "effective delta: overlaps replayed per byte" `Quick
+      test_effective_delta_overlap_last_writer_wins;
+    Alcotest.test_case "effective delta: empty delta is the prefix" `Quick
+      test_effective_delta_empty_is_prefix;
+    Alcotest.test_case "read-set heuristic: cold units applied with prefix" `Quick
+      test_read_set_cold_base_regression;
+  ]
