@@ -1,8 +1,8 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: ci build test bench-perf clean
+.PHONY: ci build test bench-perf bench-shrink shrink-smoke clean
 
-ci: build test
+ci: build test shrink-smoke
 
 build:
 	dune build @all
@@ -10,11 +10,24 @@ build:
 test:
 	dune runtest
 
+# Minimizer smoke test: shrink one known catalogued bug to a reproducer
+# (must strictly reduce the workload and keep the fingerprint — the CLI
+# exits non-zero otherwise), then rebuild and re-verify the artifact.
+shrink-smoke:
+	dune exec bin/chipmunk_cli.exe -- minimize --bug 4 --expect-shrink \
+	  --out _build/bug-4.repro.json
+	dune exec bin/chipmunk_cli.exe -- reproduce --bug 4 _build/bug-4.repro.json
+
 # Rewrite BENCH_parallel.json (sequential vs parallel wall-clock, dedup
 # hit-rate, states/sec) so the perf trajectory is tracked across PRs.
 # Override the worker-domain count with CHIPMUNK_JOBS=N.
 bench-perf:
 	dune exec bench/main.exe parallel
+
+# Rewrite BENCH_shrink.json (delta-debugging shrink factors over the
+# 25-bug corpus).
+bench-shrink:
+	dune exec bench/main.exe shrink
 
 clean:
 	dune clean

@@ -11,6 +11,8 @@
      perf         Obs. 2 + sect 6.2 - Bechamel microbenchmarks
      parallel     perf tracking - sequential vs --jobs, dedup hit-rate
                   (rewrites BENCH_parallel.json for cross-PR comparison)
+     shrink       minimizer  - delta-debugging shrink factors over the bug
+                  corpus (rewrites BENCH_shrink.json)
      ablation     DESIGN.md - coalescing design choice
 
    Running with no argument executes everything. Campaign-level experiments
@@ -164,22 +166,33 @@ let suite_stats () =
     seq1_n seq2_n seq3_n;
   Printf.printf "%-12s %10s %12s %12s %10s %10s %8s\n" "FS" "workloads" "crash pts"
     "crash states" "dedup" "false pos" "time(s)";
-  let rows =
-    List.map
+  (* One worker domain per file system: the seven sweeps are independent, so
+     fanning the drivers out (rather than sharding workloads within one
+     driver) parallelizes across the whole table. Pool.map returns results
+     in submission order, so rows print deterministically, driver by
+     driver, whatever order the domains finished in. *)
+  let results =
+    Chipmunk.Pool.map
+      ~jobs:(min jobs (List.length Catalog.clean_drivers))
       (fun (name, mk) ->
         let suite =
           if name = "ext4-dax" || name = "xfs-dax" then
             Seq.append (Ace.seq1 Ace.Fsync) (Seq.take 1500 (Ace.seq2 Ace.Fsync))
           else Seq.append (Ace.seq1 Ace.Strong) (Ace.seq2 Ace.Strong)
         in
-        let r = Chipmunk.Campaign.run_parallel ~keep_sizes:false ~jobs (mk ()) suite in
+        Chipmunk.Campaign.run ~keep_sizes:false (mk ()) suite)
+      (List.to_seq Catalog.clean_drivers)
+  in
+  let rows =
+    List.map
+      (fun (_, (name, _), r) ->
         Printf.printf "%-12s %10d %12d %12d %10d %10d %8.1f\n" name
           r.Chipmunk.Campaign.workloads_run r.Chipmunk.Campaign.crash_points
           r.Chipmunk.Campaign.crash_states r.Chipmunk.Campaign.dedup_hits
           (List.length r.Chipmunk.Campaign.events)
           r.Chipmunk.Campaign.elapsed;
         (name, r.Chipmunk.Campaign.crash_states))
-      Catalog.clean_drivers
+      results
   in
   let strong = List.filter (fun (n, _) -> n <> "ext4-dax" && n <> "xfs-dax") rows in
   let mx = List.fold_left (fun a (_, s) -> max a s) 0 strong in
@@ -542,6 +555,116 @@ let parallel_perf () =
   Printf.printf "wrote BENCH_parallel.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Minimizer shrink factors                                            *)
+
+(* One row per catalogued bug: find it from its trigger, minimize the
+   finding, verify the minimized reproducer, and record the shrink factors.
+   Rewrites BENCH_shrink.json (sibling of BENCH_parallel.json) so the
+   minimizer's effectiveness is tracked across commits. *)
+let shrink_bench () =
+  header "Minimizer: delta-debugging shrink factors over the 25-bug corpus";
+  let results =
+    Chipmunk.Pool.map
+      ~jobs:(min jobs (List.length Catalog.all))
+      (fun (b : Catalog.t) ->
+        let driver = b.Catalog.driver () in
+        let r = Chipmunk.Harness.test_workload driver b.Catalog.trigger in
+        match r.Chipmunk.Harness.reports with
+        | [] -> Error "trigger found nothing"
+        | rep :: _ -> (
+          match Shrink.Minimize.run driver rep with
+          | Error e -> Error e
+          | Ok o ->
+            let preserved =
+              Chipmunk.Report.fingerprint o.Shrink.Minimize.report
+              = Chipmunk.Report.fingerprint rep
+            in
+            let reverifies = Chipmunk.Reproduce.verify driver o.Shrink.Minimize.report in
+            Ok (o, preserved, reverifies)))
+      (List.to_seq Catalog.all)
+  in
+  Printf.printf "%-4s %-12s %10s %10s %10s %10s %6s %6s\n" "Bug" "FS" "ops" "min ops"
+    "writes" "min wr" "fp" "repro";
+  let ok_rows =
+    List.filter_map
+      (fun (_, (b : Catalog.t), res) ->
+        match res with
+        | Error e ->
+          Printf.printf "%-4d %-12s FAILED: %s\n" b.Catalog.bug_no b.Catalog.fs e;
+          None
+        | Ok ((o : Shrink.Minimize.outcome), preserved, reverifies) ->
+          let s = o.Shrink.Minimize.stats in
+          Printf.printf "%-4d %-12s %10d %10d %10d %10d %6s %6s\n" b.Catalog.bug_no b.Catalog.fs
+            s.Shrink.Minimize.ops_before s.Shrink.Minimize.ops_after
+            s.Shrink.Minimize.subset_before s.Shrink.Minimize.subset_after
+            (if preserved then "yes" else "NO")
+            (if reverifies then "yes" else "NO");
+          Some (b, s, preserved, reverifies))
+      results
+  in
+  let median l =
+    match List.sort compare l with
+    | [] -> 0.0
+    | sorted ->
+      let n = List.length sorted in
+      let nth i = float_of_int (List.nth sorted i) in
+      if n mod 2 = 1 then nth (n / 2) else (nth ((n / 2) - 1) +. nth (n / 2)) /. 2.0
+  in
+  let ops_before = List.map (fun (_, s, _, _) -> s.Shrink.Minimize.ops_before) ok_rows in
+  let ops_after = List.map (fun (_, s, _, _) -> s.Shrink.Minimize.ops_after) ok_rows in
+  let reduced =
+    List.length
+      (List.filter
+         (fun (_, s, _, _) -> s.Shrink.Minimize.ops_after < s.Shrink.Minimize.ops_before)
+         ok_rows)
+  in
+  let all_preserved = List.for_all (fun (_, _, p, _) -> p) ok_rows in
+  let all_reverify = List.for_all (fun (_, _, _, r) -> r) ok_rows in
+  let m_before = median ops_before and m_after = median ops_after in
+  Printf.printf
+    "\n%d/%d minimized; workload strictly shorter for %d; median ops %.1f -> %.1f \
+     (%.2fx); fingerprints preserved: %b; reproducers re-verify: %b\n"
+    (List.length ok_rows) (List.length Catalog.all) reduced m_before m_after
+    (m_before /. Float.max 1.0 m_after)
+    all_preserved all_reverify;
+  let module J = Chipmunk.Json in
+  let bug_obj ((b : Catalog.t), (s : Shrink.Minimize.stats), preserved, reverifies) =
+    J.obj
+      [
+        ("bug_no", string_of_int b.Catalog.bug_no);
+        ("fs", J.str b.Catalog.fs);
+        ("ops_before", string_of_int s.Shrink.Minimize.ops_before);
+        ("ops_after", string_of_int s.Shrink.Minimize.ops_after);
+        ("subset_before", string_of_int s.Shrink.Minimize.subset_before);
+        ("subset_after", string_of_int s.Shrink.Minimize.subset_after);
+        ("harness_runs", string_of_int s.Shrink.Minimize.harness_runs);
+        ("check_runs", string_of_int s.Shrink.Minimize.check_runs);
+        ("fingerprint_preserved", string_of_bool preserved);
+        ("reverifies", string_of_bool reverifies);
+      ]
+  in
+  let json =
+    J.obj
+      [
+        ("schema", J.str "chipmunk-bench-shrink/1");
+        ("jobs", string_of_int jobs);
+        ("minimized", string_of_int (List.length ok_rows));
+        ("bug_instances", string_of_int (List.length Catalog.all));
+        ("strictly_reduced", string_of_int reduced);
+        ("median_ops_before", Printf.sprintf "%.1f" m_before);
+        ("median_ops_after", Printf.sprintf "%.1f" m_after);
+        ("fingerprints_preserved", string_of_bool all_preserved);
+        ("reproducers_reverify", string_of_bool all_reverify);
+        ("bugs", J.arr (List.map bug_obj ok_rows));
+      ]
+  in
+  let oc = open_out "BENCH_shrink.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_shrink.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Ablation                                                            *)
 
 let ablation () =
@@ -608,7 +731,10 @@ let ablation () =
 (* ------------------------------------------------------------------ *)
 
 let all_experiments =
-  [ table1; table2; suite_stats; cap_sweep; inflight; ablation; figure3; perf; parallel_perf ]
+  [
+    table1; table2; suite_stats; cap_sweep; inflight; ablation; figure3; perf; parallel_perf;
+    shrink_bench;
+  ]
 
 let () =
   match Sys.argv with
@@ -621,9 +747,10 @@ let () =
   | [| _; "inflight" |] -> inflight ()
   | [| _; "perf" |] -> perf ()
   | [| _; "parallel" |] -> parallel_perf ()
+  | [| _; "shrink" |] -> shrink_bench ()
   | [| _; "ablation" |] -> ablation ()
   | _ ->
     prerr_endline
       "usage: main.exe \
-       [table1|table2|figure3|suite-stats|cap-sweep|inflight|perf|parallel|ablation]";
+       [table1|table2|figure3|suite-stats|cap-sweep|inflight|perf|parallel|shrink|ablation]";
     exit 1

@@ -4,7 +4,9 @@
      chipmunk-cli list                        file systems and catalogued bugs
      chipmunk-cli ace --fs nova --suite seq1  run an ACE suite
      chipmunk-cli fuzz --fs winefs --execs N  run a fuzzing campaign
-     chipmunk-cli bug --no 4                  reproduce one catalogued bug *)
+     chipmunk-cli bug --no 4                  reproduce one catalogued bug
+     chipmunk-cli minimize report.json        shrink a finding to a reproducer
+     chipmunk-cli reproduce bug.repro.json    rebuild and re-verify a reproducer *)
 
 open Cmdliner
 
@@ -50,6 +52,10 @@ let no_dedup_arg =
   let doc = "Disable the crash-state dedup cache (mount and check every enumerated state)." in
   Arg.(value & flag & info [ "no-dedup" ] ~doc)
 
+let minimize_flag =
+  let doc = "Minimize each finding with the delta-debugging shrinker before printing." in
+  Arg.(value & flag & info [ "minimize" ] ~doc)
+
 let list_cmd =
   let run () =
     Printf.printf "File systems:\n";
@@ -83,7 +89,7 @@ let max_workloads_arg =
   Arg.(value & opt int 0 & info [ "max-workloads" ] ~docv:"N" ~doc)
 
 let ace_cmd =
-  let run fs buggy suite cap max_workloads jobs no_dedup =
+  let run fs buggy suite cap max_workloads jobs no_dedup minimize =
     match driver_of_name ~buggy fs with
     | Error e ->
       prerr_endline e;
@@ -106,11 +112,14 @@ let ace_cmd =
       | Ok workloads ->
         let max_workloads = if max_workloads = 0 then None else Some max_workloads in
         let opts = opts_of_cap ~dedup:(not no_dedup) cap in
+        let minimize =
+          if minimize then Some (Shrink.Minimize.rewrite ~opts driver) else None
+        in
         let r =
-          if jobs = 1 then Chipmunk.Campaign.run ~opts ?max_workloads driver workloads
+          if jobs = 1 then Chipmunk.Campaign.run ~opts ?minimize ?max_workloads driver workloads
           else
             let jobs = if jobs <= 0 then None else Some jobs in
-            Chipmunk.Campaign.run_parallel ~opts ?max_workloads ?jobs driver workloads
+            Chipmunk.Campaign.run_parallel ~opts ?minimize ?max_workloads ?jobs driver workloads
         in
         Printf.printf
           "%s/%s: %d workloads, %d crash points, %d crash states (%d dedup-skipped), \
@@ -134,7 +143,7 @@ let ace_cmd =
     (Cmd.info "ace" ~doc:"Run an ACE workload suite under Chipmunk")
     Term.(
       const run $ fs_arg $ buggy_arg $ suite_arg $ cap_arg $ max_workloads_arg $ jobs_arg
-      $ no_dedup_arg)
+      $ no_dedup_arg $ minimize_flag)
 
 let execs_arg =
   let doc = "Maximum fuzzer executions." in
@@ -149,11 +158,13 @@ let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
 let save_arg =
-  let doc = "Directory to save each finding's workload into (created if missing)." in
+  let doc =
+    "Directory to save each finding's workload and report JSON into (created if missing)."
+  in
   Arg.(value & opt (some string) None & info [ "save" ] ~docv:"DIR" ~doc)
 
 let fuzz_cmd =
-  let run fs buggy execs seconds seed save =
+  let run fs buggy execs seconds seed save minimize =
     match driver_of_name ~buggy fs with
     | Error e ->
       prerr_endline e;
@@ -175,11 +186,30 @@ let fuzz_cmd =
       Printf.printf "%d unique finding(s) in %d cluster(s)\n"
         (List.length r.Fuzz.Fuzzer.events)
         (List.length r.Fuzz.Fuzzer.clusters);
-      List.iteri
-        (fun i (c : Fuzz.Triage.cluster) ->
-          Printf.printf "  cluster %d (%d reports): %s\n" i (List.length c.Fuzz.Triage.members)
-            (Chipmunk.Report.summary c.Fuzz.Triage.representative))
-        r.Fuzz.Fuzzer.clusters;
+      if minimize then
+        List.iteri
+          (fun i (c, o) ->
+            match o with
+            | None ->
+              Printf.printf "  cluster %d (%d reports): %s [did not reproduce]\n" i
+                (List.length c.Fuzz.Triage.members)
+                (Chipmunk.Report.summary c.Fuzz.Triage.representative)
+            | Some (o : Shrink.Minimize.outcome) ->
+              Printf.printf "  cluster %d (%d reports): %s [%d -> %d ops, %d -> %d writes]\n" i
+                (List.length c.Fuzz.Triage.members)
+                (Chipmunk.Report.summary c.Fuzz.Triage.representative)
+                o.Shrink.Minimize.stats.Shrink.Minimize.ops_before
+                o.Shrink.Minimize.stats.Shrink.Minimize.ops_after
+                o.Shrink.Minimize.stats.Shrink.Minimize.subset_before
+                o.Shrink.Minimize.stats.Shrink.Minimize.subset_after)
+          (Fuzz.Triage.minimize ~opts:config.Fuzz.Fuzzer.harness_opts driver
+             r.Fuzz.Fuzzer.clusters)
+      else
+        List.iteri
+          (fun i (c : Fuzz.Triage.cluster) ->
+            Printf.printf "  cluster %d (%d reports): %s\n" i (List.length c.Fuzz.Triage.members)
+              (Chipmunk.Report.summary c.Fuzz.Triage.representative))
+          r.Fuzz.Fuzzer.clusters;
       (match save with
       | None -> ()
       | Some dir ->
@@ -188,13 +218,18 @@ let fuzz_cmd =
           (fun i (e : Fuzz.Fuzzer.event) ->
             let path = Filename.concat dir (Printf.sprintf "finding-%02d.workload" i) in
             Vfs.Workload_io.save ~path e.Fuzz.Fuzzer.workload;
-            Printf.printf "saved %s\n" path)
+            let rpath = Filename.concat dir (Printf.sprintf "finding-%02d.report.json" i) in
+            Shrink.Artifact.save ~path:rpath
+              (Shrink.Artifact.of_report e.Fuzz.Fuzzer.report);
+            Printf.printf "saved %s and %s\n" path rpath)
           r.Fuzz.Fuzzer.events);
       0
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a gray-box fuzzing campaign under Chipmunk")
-    Term.(const run $ fs_arg $ buggy_arg $ execs_arg $ seconds_arg $ seed_arg $ save_arg)
+    Term.(
+      const run $ fs_arg $ buggy_arg $ execs_arg $ seconds_arg $ seed_arg $ save_arg
+      $ minimize_flag)
 
 let file_arg =
   let doc = "Workload file (one syscall per line; see Vfs.Workload_io)." in
@@ -255,6 +290,159 @@ let bug_cmd =
   in
   Cmd.v (Cmd.info "bug" ~doc:"Reproduce one catalogued bug") Term.(const run $ bug_no_arg)
 
+(* --- minimize / reproduce --- *)
+
+let report_file_arg =
+  let doc = "Report or reproducer JSON (a chipmunk-cli minimize artifact, a fuzz --save \
+             report, or any Report.to_json document)." in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let fs_opt_arg =
+  let doc = "File system driver to use (default: the one named in the report)." in
+  Arg.(value & opt (some string) None & info [ "fs" ] ~docv:"FS" ~doc)
+
+let bug_opt_arg =
+  let doc =
+    "Work on catalogued bug N: run its trigger workload under its single-bug driver and \
+     take the first finding, instead of reading FILE."
+  in
+  Arg.(value & opt (some int) None & info [ "bug" ] ~docv:"N" ~doc)
+
+let out_arg =
+  let doc = "Where to write the reproducer artifact (default: FILE.min.json or \
+             bug-N.repro.json)." in
+  Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"PATH" ~doc)
+
+let expect_shrink_arg =
+  let doc = "Fail unless the minimized workload is strictly shorter than the input's." in
+  Arg.(value & flag & info [ "expect-shrink" ] ~doc)
+
+let catalog_bug no =
+  match List.find_opt (fun (b : Catalog.t) -> b.Catalog.bug_no = no) Catalog.all with
+  | None -> Error (Printf.sprintf "no catalogued bug %d" no)
+  | Some b -> Ok b
+
+(* The driver + report + default artifact path a minimize/reproduce
+   invocation names: either a catalogued bug's trigger finding under its
+   single-bug driver, or a report file paired with its own (or the
+   requested) file system. *)
+let resolve_source ~file ~bug ~fs ~buggy ~opts =
+  match (bug, file) with
+  | Some no, _ ->
+    Result.bind (catalog_bug no) (fun (b : Catalog.t) ->
+        let driver = b.Catalog.driver () in
+        let r = Chipmunk.Harness.test_workload ~opts driver b.Catalog.trigger in
+        match r.Chipmunk.Harness.reports with
+        | [] -> Error (Printf.sprintf "bug %d did not reproduce from its trigger" no)
+        | rep :: _ -> Ok (driver, rep, Printf.sprintf "bug-%02d.repro.json" no))
+  | None, Some file ->
+    Result.bind (Shrink.Artifact.load ~path:file) (fun (a : Shrink.Artifact.t) ->
+        let report = a.Shrink.Artifact.report in
+        let fs = Option.value fs ~default:report.Chipmunk.Report.fs in
+        Result.map
+          (fun driver -> (driver, report, file ^ ".min.json"))
+          (driver_of_name ~buggy fs))
+  | None, None -> Error "pass a report FILE or --bug N"
+
+let minimize_cmd =
+  let run file bug fs buggy cap out expect_shrink =
+    let opts = opts_of_cap cap in
+    match resolve_source ~file ~bug ~fs ~buggy ~opts with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok (driver, report, default_out) -> (
+      let out = Option.value out ~default:default_out in
+      match Shrink.Minimize.run ~opts driver report with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok o ->
+        let s = o.Shrink.Minimize.stats in
+        Printf.printf
+          "workload: %d -> %d ops; replayed writes: %d -> %d (%d harness runs, %d rebuilds)\n"
+          s.Shrink.Minimize.ops_before s.Shrink.Minimize.ops_after
+          s.Shrink.Minimize.subset_before s.Shrink.Minimize.subset_after
+          s.Shrink.Minimize.harness_runs s.Shrink.Minimize.check_runs;
+        let fp_preserved =
+          Chipmunk.Report.fingerprint o.Shrink.Minimize.report
+          = Chipmunk.Report.fingerprint report
+        in
+        let reverifies = Chipmunk.Reproduce.verify driver o.Shrink.Minimize.report in
+        Printf.printf "fingerprint preserved: %b; reproducer re-verifies: %b\n" fp_preserved
+          reverifies;
+        Shrink.Artifact.save ~path:out (Shrink.Artifact.of_outcome o);
+        Printf.printf "wrote %s\n" out;
+        if not (fp_preserved && reverifies) then 1
+        else if expect_shrink && s.Shrink.Minimize.ops_after >= s.Shrink.Minimize.ops_before
+        then begin
+          prerr_endline "--expect-shrink: workload did not get strictly shorter";
+          1
+        end
+        else 0)
+  in
+  Cmd.v
+    (Cmd.info "minimize"
+       ~doc:"Shrink a finding to a minimal, replayable reproducer (delta debugging)")
+    Term.(
+      const run $ report_file_arg $ bug_opt_arg $ fs_opt_arg $ buggy_arg $ cap_arg $ out_arg
+      $ expect_shrink_arg)
+
+let reproduce_cmd =
+  let run file bug fs buggy =
+    match file with
+    | None ->
+      prerr_endline "pass a reproducer FILE";
+      1
+    | Some file -> (
+      match Shrink.Artifact.load ~path:file with
+      | Error e ->
+        Printf.eprintf "cannot load %s: %s\n" file e;
+        1
+      | Ok a -> (
+        let report = a.Shrink.Artifact.report in
+        let driver =
+          match bug with
+          | Some no -> Result.map (fun (b : Catalog.t) -> b.Catalog.driver ()) (catalog_bug no)
+          | None ->
+            let fs = Option.value fs ~default:report.Chipmunk.Report.fs in
+            driver_of_name ~buggy fs
+        in
+        match driver with
+        | Error e ->
+          prerr_endline e;
+          1
+        | Ok driver -> (
+          match Chipmunk.Reproduce.crash_state driver report with
+          | Error e ->
+            Printf.eprintf "cannot rebuild the crash state: %s\n" e;
+            1
+          | Ok cs ->
+            let target = Chipmunk.Report.fingerprint report in
+            let kinds = cs.Chipmunk.Reproduce.check () in
+            let hit =
+              List.exists
+                (fun k ->
+                  Chipmunk.Report.fingerprint { report with Chipmunk.Report.kind = k } = target)
+                kinds
+            in
+            Format.printf "%a" Shrink.Artifact.pp a;
+            if hit then begin
+              print_endline "reproduced: crash state rebuilt and the finding re-verifies";
+              0
+            end
+            else begin
+              print_endline "NOT reproduced: crash state rebuilt but the check passes";
+              1
+            end)))
+  in
+  Cmd.v
+    (Cmd.info "reproduce" ~doc:"Rebuild a reproducer's crash state and re-verify the finding")
+    Term.(const run $ report_file_arg $ bug_opt_arg $ fs_opt_arg $ buggy_arg)
+
 let () =
   let info = Cmd.info "chipmunk-cli" ~doc:"Crash-consistency testing for PM file systems" in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; ace_cmd; fuzz_cmd; bug_cmd; replay_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ list_cmd; ace_cmd; fuzz_cmd; bug_cmd; replay_cmd; minimize_cmd; reproduce_cmd ]))

@@ -50,8 +50,10 @@ let acc_create ~keep_sizes =
   }
 
 (* Fold one workload's result in; calls [on_new_finding] for each
-   fingerprint not seen earlier in the campaign. *)
-let acc_add acc ~name ~index ~elapsed ~on_new_finding (r : Harness.result) =
+   fingerprint not seen earlier in the campaign. [minimize] runs only on
+   those first occurrences — after dedup — so a campaign pays minimization
+   cost once per unique fingerprint, not once per duplicate report. *)
+let acc_add acc ~name ~index ~elapsed ~minimize ~on_new_finding (r : Harness.result) =
   acc.workloads <- acc.workloads + 1;
   acc.states <- acc.states + r.Harness.stats.Harness.crash_states;
   acc.points <- acc.points + r.Harness.stats.Harness.crash_points;
@@ -64,6 +66,7 @@ let acc_add acc ~name ~index ~elapsed ~on_new_finding (r : Harness.result) =
       let fp = Report.fingerprint report in
       if not (Hashtbl.mem acc.seen fp) then begin
         Hashtbl.replace acc.seen fp ();
+        let report = match minimize with None -> report | Some f -> f report in
         acc.events <-
           {
             fingerprint = fp;
@@ -90,8 +93,8 @@ let acc_result acc ~elapsed =
     max_in_flight = acc.max_if;
   }
 
-let run ?opts ?stop_after_findings ?max_workloads ?max_seconds ?(keep_sizes = true) driver
-    suite =
+let run ?opts ?minimize ?stop_after_findings ?max_workloads ?max_seconds ?(keep_sizes = true)
+    driver suite =
   let t0 = Unix.gettimeofday () in
   let acc = acc_create ~keep_sizes in
   (try
@@ -104,6 +107,7 @@ let run ?opts ?stop_after_findings ?max_workloads ?max_seconds ?(keep_sizes = tr
          let r = Harness.test_workload ?opts driver workload in
          acc_add acc ~name ~index:i
            ~elapsed:(Unix.gettimeofday () -. t0)
+           ~minimize
            ~on_new_finding:(fun () ->
              match stop_after_findings with
              | Some n when Hashtbl.length acc.seen >= n -> raise Done
@@ -115,8 +119,8 @@ let run ?opts ?stop_after_findings ?max_workloads ?max_seconds ?(keep_sizes = tr
 
 let take n l = List.filteri (fun i _ -> i < n) l
 
-let run_parallel ?opts ?stop_after_findings ?max_workloads ?max_seconds ?(keep_sizes = true)
-    ?jobs driver suite =
+let run_parallel ?opts ?minimize ?stop_after_findings ?max_workloads ?max_seconds
+    ?(keep_sizes = true) ?jobs driver suite =
   let t0 = Unix.gettimeofday () in
   let suite = match max_workloads with None -> suite | Some m -> Seq.take m suite in
   (* Live early-stop state, updated under the pool lock as workloads finish
@@ -145,11 +149,13 @@ let run_parallel ?opts ?stop_after_findings ?max_workloads ?max_seconds ?(keep_s
   let completed = Pool.map ?jobs ~stop ~on_result work suite in
   (* Deterministic merge: completed workloads arrive sorted by workload
      index, so fingerprint dedup ties always resolve to the lowest index,
-     independent of domain scheduling. *)
+     independent of domain scheduling. Minimization also happens here, on
+     the caller's domain, so it too only runs on the deterministic set of
+     first occurrences. *)
   let acc = acc_create ~keep_sizes in
   List.iter
     (fun (i, (name, _workload), (r, done_at)) ->
-      acc_add acc ~name ~index:i ~elapsed:done_at ~on_new_finding:(fun () -> ()) r)
+      acc_add acc ~name ~index:i ~elapsed:done_at ~minimize ~on_new_finding:(fun () -> ()) r)
     completed;
   let result = acc_result acc ~elapsed:(Unix.gettimeofday () -. t0) in
   (* Workloads past the n-th finding may already have been dispatched;

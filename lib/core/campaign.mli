@@ -35,6 +35,7 @@ type result = {
 
 val run :
   ?opts:Harness.opts ->
+  ?minimize:(Report.t -> Report.t) ->
   ?stop_after_findings:int ->
   ?max_workloads:int ->
   ?max_seconds:float ->
@@ -46,10 +47,16 @@ val run :
     across the whole campaign. [keep_sizes] (default [true]) controls
     whether the per-crash-point in-flight size samples are retained; long
     campaigns that do not consume them should pass [false] so the
-    accumulator stays O(1) per crash point. *)
+    accumulator stays O(1) per crash point.
+
+    [minimize] (typically [Shrink.Minimize.rewrite]) is applied to each
+    finding {e after} campaign-wide fingerprint dedup, so its cost is paid
+    once per unique bug rather than once per duplicate report. It must
+    preserve the fingerprint. *)
 
 val run_parallel :
   ?opts:Harness.opts ->
+  ?minimize:(Report.t -> Report.t) ->
   ?stop_after_findings:int ->
   ?max_workloads:int ->
   ?max_seconds:float ->

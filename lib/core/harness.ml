@@ -126,7 +126,7 @@ let usability_probe (h : Vfs.Handle.t) tree =
     dirs_deep_first;
   !fail
 
-let test_workload ?(opts = default_opts) (driver : Vfs.Driver.t) calls =
+let test_workload ?(opts = default_opts) ?minimize (driver : Vfs.Driver.t) calls =
   (* Phase 1: execute the workload on an instrumented fresh file system. *)
   let img = Image.create ~size:driver.Vfs.Driver.device_size in
   let pm = Pm.create img in
@@ -360,4 +360,6 @@ let test_workload ?(opts = default_opts) (driver : Vfs.Driver.t) calls =
            check_point ~phase:(Checker.After idx);
            last_done := Some idx)
    with Stop -> ());
-  { reports = List.rev !reports; stats; trace; outcomes }
+  let reports = List.rev !reports in
+  let reports = match minimize with None -> reports | Some f -> List.map f reports in
+  { reports; stats; trace; outcomes }

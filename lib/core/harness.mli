@@ -68,5 +68,17 @@ type result = {
   outcomes : Vfs.Workload.outcome list;
 }
 
-val test_workload : ?opts:opts -> Vfs.Driver.t -> Vfs.Syscall.t list -> result
-(** Run the full pipeline for one workload on one file system. *)
+val test_workload :
+  ?opts:opts -> ?minimize:(Report.t -> Report.t) -> Vfs.Driver.t -> Vfs.Syscall.t list -> result
+(** Run the full pipeline for one workload on one file system.
+
+    [minimize] is applied to each report after per-workload fingerprint
+    dedup (so it runs once per unique finding, not once per crash state) —
+    the hook behind [Shrink.Minimize.rewrite]. It must preserve the
+    report's fingerprint; the harness does not re-dedup its output. *)
+
+val usability_probe : Vfs.Handle.t -> Vfs.Walker.tree -> string option
+(** The post-recovery usability probe (create a file in every directory,
+    write to it, remove it, then delete every file and directory bottom-up);
+    [Some msg] describes the first operation that failed. Exposed so
+    {!Reproduce} re-checks crash states exactly as the harness did. *)

@@ -82,56 +82,150 @@ let summary t =
   in
   Printf.sprintf "[%s] %s, crash %s" t.fs what where
 
-(* Minimal JSON encoding (strings, ints, lists, objects) — enough for the
-   machine-readable bench/CI outputs without an external dependency. *)
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let json_str s = "\"" ^ json_escape s ^ "\""
-let json_int_opt = function None -> "null" | Some i -> string_of_int i
-let json_list items = "[" ^ String.concat "," items ^ "]"
-let json_obj fields =
-  "{" ^ String.concat "," (List.map (fun (k, v) -> json_str k ^ ":" ^ v) fields) ^ "}"
-
 let evidence_fields = function
-  | Unmountable m | Recovery_fault m | Unusable m -> [ ("evidence", json_str m) ]
+  | Unmountable m | Recovery_fault m | Unusable m -> [ ("evidence", Json.str m) ]
   | Atomicity { syscall; diffs } | Synchrony { syscall; diffs } ->
-    [ ("syscall", json_str syscall); ("diffs", json_list (List.map json_str diffs)) ]
-  | Torn_data { path; detail } -> [ ("path", json_str path); ("detail", json_str detail) ]
-  | Inaccessible { path; error } -> [ ("path", json_str path); ("error", json_str error) ]
+    [ ("syscall", Json.str syscall); ("diffs", Json.arr (List.map Json.str diffs)) ]
+  | Torn_data { path; detail } -> [ ("path", Json.str path); ("detail", Json.str detail) ]
+  | Inaccessible { path; error } -> [ ("path", Json.str path); ("error", Json.str error) ]
 
+(* The workload array uses the Workload_io per-line codec (not the display
+   form of [Syscall.to_string]) so that [of_json] can parse it back and a
+   saved report is a complete, replayable reproducer. *)
 let to_json t =
-  json_obj
+  Json.obj
     ([
-       ("fs", json_str t.fs);
-       ("kind", json_str (kind_label t.kind));
-       ("fingerprint", json_str (fingerprint t));
-       ("summary", json_str (summary t));
+       ("fs", Json.str t.fs);
+       ("kind", Json.str (kind_label t.kind));
+       ("fingerprint", Json.str (fingerprint t));
+       ("summary", Json.str (summary t));
        ( "crash_point",
-         json_obj
+         Json.obj
            [
              ("fence_no", string_of_int t.crash_point.fence_no);
-             ("during_syscall", json_int_opt t.crash_point.during_syscall);
-             ("after_syscall", json_int_opt t.crash_point.after_syscall);
-             ("subset", json_list (List.map string_of_int t.crash_point.subset));
+             ("during_syscall", Json.int_opt t.crash_point.during_syscall);
+             ("after_syscall", Json.int_opt t.crash_point.after_syscall);
+             ("subset", Json.arr (List.map string_of_int t.crash_point.subset));
              ("in_flight", string_of_int t.crash_point.in_flight);
            ] );
        ( "workload",
-         json_list (List.map (fun c -> json_str (Vfs.Syscall.to_string c)) t.workload) );
+         Json.arr (List.map (fun c -> Json.str (Vfs.Workload_io.line_of_call c)) t.workload) );
      ]
     @ evidence_fields t.kind)
+
+let ( let* ) = Result.bind
+
+let jfield name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let jstr name j =
+  let* v = jfield name j in
+  match Json.to_string_opt v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S: expected a string" name)
+
+let jint name j =
+  let* v = jfield name j in
+  match Json.to_int_opt v with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "field %S: expected an integer" name)
+
+let jint_opt name j =
+  let* v = jfield name j in
+  match v with
+  | Json.Null -> Ok None
+  | Json.Int i -> Ok (Some i)
+  | _ -> Error (Printf.sprintf "field %S: expected an integer or null" name)
+
+let jlist name j =
+  let* v = jfield name j in
+  match Json.to_list_opt v with
+  | Some l -> Ok l
+  | None -> Error (Printf.sprintf "field %S: expected an array" name)
+
+let jstr_list name j =
+  let* l = jlist name j in
+  List.fold_left
+    (fun acc v ->
+      let* acc = acc in
+      match Json.to_string_opt v with
+      | Some s -> Ok (s :: acc)
+      | None -> Error (Printf.sprintf "field %S: expected an array of strings" name))
+    (Ok []) l
+  |> Result.map List.rev
+
+let kind_of_json j =
+  let* label = jstr "kind" j in
+  match label with
+  | "unmountable" ->
+    let* m = jstr "evidence" j in
+    Ok (Unmountable m)
+  | "recovery-fault" ->
+    let* m = jstr "evidence" j in
+    Ok (Recovery_fault m)
+  | "unusable" ->
+    let* m = jstr "evidence" j in
+    Ok (Unusable m)
+  | "atomicity" ->
+    let* syscall = jstr "syscall" j in
+    let* diffs = jstr_list "diffs" j in
+    Ok (Atomicity { syscall; diffs })
+  | "synchrony" ->
+    let* syscall = jstr "syscall" j in
+    let* diffs = jstr_list "diffs" j in
+    Ok (Synchrony { syscall; diffs })
+  | "torn-data" ->
+    let* path = jstr "path" j in
+    let* detail = jstr "detail" j in
+    Ok (Torn_data { path; detail })
+  | "inaccessible" ->
+    let* path = jstr "path" j in
+    let* error = jstr "error" j in
+    Ok (Inaccessible { path; error })
+  | other -> Error (Printf.sprintf "unknown report kind %S" other)
+
+let of_json_value j =
+  let* fs = jstr "fs" j in
+  let* kind = kind_of_json j in
+  let* lines = jstr_list "workload" j in
+  let* workload =
+    List.fold_left
+      (fun acc line ->
+        let* acc = acc in
+        let* call = Vfs.Workload_io.parse_line line in
+        Ok (call :: acc))
+      (Ok []) lines
+    |> Result.map List.rev
+  in
+  let* cp = jfield "crash_point" j in
+  let* fence_no = jint "fence_no" cp in
+  let* during_syscall = jint_opt "during_syscall" cp in
+  let* after_syscall = jint_opt "after_syscall" cp in
+  let* in_flight = jint "in_flight" cp in
+  let* subset =
+    let* l = jlist "subset" cp in
+    List.fold_left
+      (fun acc v ->
+        let* acc = acc in
+        match Json.to_int_opt v with
+        | Some i -> Ok (i :: acc)
+        | None -> Error "field \"subset\": expected an array of integers")
+      (Ok []) l
+    |> Result.map List.rev
+  in
+  Ok
+    {
+      fs;
+      workload;
+      crash_point = { fence_no; during_syscall; after_syscall; subset; in_flight };
+      kind;
+    }
+
+let of_json text =
+  let* j = Json.parse text in
+  of_json_value j
 
 let pp ppf t =
   Format.fprintf ppf "=== BUG REPORT (%s) ===@." t.fs;

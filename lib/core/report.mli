@@ -47,5 +47,17 @@ val pp : Format.formatter -> t -> unit
 val to_json : t -> string
 (** The report as a self-contained JSON object (fs, kind, crash point,
     workload listing, evidence, fingerprint) — the machine-readable form
-    used by [BENCH_parallel.json] and other tooling that tracks findings
-    across runs. *)
+    used by [BENCH_parallel.json], reproducer artifacts and other tooling
+    that tracks findings across runs. The workload array uses the
+    {!Vfs.Workload_io} per-line codec, so the JSON carries everything
+    needed to re-derive the crash state. *)
+
+val of_json : string -> (t, string) result
+(** Inverse of {!to_json} ([of_json (to_json t) = Ok t] for every report):
+    the loader behind [chipmunk-cli minimize]/[reproduce]. Derived fields
+    ([fingerprint], [summary]) are ignored and recomputed; unknown extra
+    fields (e.g. a reproducer artifact's shrink metadata) are tolerated. *)
+
+val of_json_value : Json.t -> (t, string) result
+(** {!of_json} on an already-parsed document, for callers that wrap report
+    JSON inside a larger object. *)

@@ -8,70 +8,95 @@ type crash_state = {
   check : unit -> Report.kind list;
 }
 
-exception Found of Image.t * Checker.phase
+exception Found of Image.t * Checker.phase * Coalesce.t list
+exception Mismatch of string
 
 (* Re-run the recorded workload and replay the trace up to the report's
    crash point, applying exactly the subset of in-flight writes the report
-   names (by sequence number). *)
+   names (by sequence number). Never raises: a report that does not match
+   this driver (wrong file system, crash point past the end of the trace,
+   subset naming writes that are not in flight there) is an [Error], as is
+   any hardware fault the re-run provokes. *)
 let rebuild (driver : Vfs.Driver.t) (report : Report.t) =
   let cp = report.Report.crash_point in
-  let img = Image.create ~size:driver.Vfs.Driver.device_size in
-  let pm = Pm.create img in
-  let handle = driver.Vfs.Driver.mkfs pm in
-  let base = Image.snapshot img in
-  let trace = Trace.create () in
-  Pm.trace_to pm trace;
-  let before idx call = Pm.mark_syscall_begin pm ~idx ~descr:(Vfs.Syscall.to_string call) in
-  let after idx _ ret = Pm.mark_syscall_end pm ~idx ~ret in
-  let _ = Vfs.Workload.run ~before ~after handle report.Report.workload in
-  Pm.set_logger pm None;
-  (* Walk the trace like the harness does, counting crash points the same
-     way (every fence and every syscall end), until we hit [cp.fence_no]. *)
-  let replay = base in
-  let vec = ref [] in
-  let cur_syscall = ref None in
-  let fence_no = ref 0 in
-  let wanted = Hashtbl.create 8 in
-  List.iter (fun s -> Hashtbl.replace wanted s ()) cp.Report.subset;
-  let stop_here phase =
-    let units = List.rev !vec in
-    List.iter
-      (fun (u : Coalesce.t) ->
-        if Hashtbl.mem wanted u.Coalesce.seq then
-          List.iter (fun (addr, data) -> Image.write_string replay ~off:addr data) u.Coalesce.parts)
-      units;
-    raise (Found (replay, phase))
-  in
-  let apply_all () =
-    List.iter
-      (fun (u : Coalesce.t) ->
-        List.iter (fun (addr, data) -> Image.write_string replay ~off:addr data) u.Coalesce.parts)
-      (List.rev !vec);
-    vec := []
-  in
-  try
-    Trace.iter trace (fun op ->
-        match op with
-        | Trace.Store s ->
-          vec := Coalesce.add ~coalesce:true ~data_threshold:64 !vec s ~syscall:!cur_syscall
-        | Trace.Fence ->
-          incr fence_no;
-          if !fence_no = cp.Report.fence_no then
-            stop_here
-              (match !cur_syscall with Some i -> Checker.During i | None -> Checker.Initial);
-          apply_all ()
-        | Trace.Syscall_begin { idx; _ } -> cur_syscall := Some idx
-        | Trace.Syscall_end { idx; _ } ->
-          cur_syscall := None;
-          incr fence_no;
-          if !fence_no = cp.Report.fence_no then stop_here (Checker.After idx));
-    Error "crash point not reached: report does not match this configuration"
-  with Found (image, phase) -> Ok (image, phase)
+  if driver.Vfs.Driver.name <> report.Report.fs then
+    Error
+      (Printf.sprintf "report is for file system %S, driver is %S" report.Report.fs
+         driver.Vfs.Driver.name)
+  else
+    try
+      let img = Image.create ~size:driver.Vfs.Driver.device_size in
+      let pm = Pm.create img in
+      let handle = driver.Vfs.Driver.mkfs pm in
+      let base = Image.snapshot img in
+      let trace = Trace.create () in
+      Pm.trace_to pm trace;
+      let before idx call = Pm.mark_syscall_begin pm ~idx ~descr:(Vfs.Syscall.to_string call) in
+      let after idx _ ret = Pm.mark_syscall_end pm ~idx ~ret in
+      let _ = Vfs.Workload.run ~before ~after handle report.Report.workload in
+      Pm.set_logger pm None;
+      (* Walk the trace like the harness does, counting crash points the same
+         way (every fence and every syscall end), until we hit [cp.fence_no]. *)
+      let replay = base in
+      let vec = ref [] in
+      let cur_syscall = ref None in
+      let fence_no = ref 0 in
+      let wanted = Hashtbl.create 8 in
+      List.iter (fun s -> Hashtbl.replace wanted s ()) cp.Report.subset;
+      let stop_here phase =
+        let units = List.rev !vec in
+        let missing =
+          List.filter
+            (fun s -> not (List.exists (fun (u : Coalesce.t) -> u.Coalesce.seq = s) units))
+            cp.Report.subset
+        in
+        if missing <> [] then
+          raise
+            (Mismatch
+               (Printf.sprintf "subset names sequence number(s) %s not in flight at the crash point"
+                  (String.concat ", " (List.map string_of_int missing))));
+        List.iter
+          (fun (u : Coalesce.t) ->
+            if Hashtbl.mem wanted u.Coalesce.seq then
+              List.iter (fun (addr, data) -> Image.write_string replay ~off:addr data) u.Coalesce.parts)
+          units;
+        raise (Found (replay, phase, units))
+      in
+      let apply_all () =
+        List.iter
+          (fun (u : Coalesce.t) ->
+            List.iter (fun (addr, data) -> Image.write_string replay ~off:addr data) u.Coalesce.parts)
+          (List.rev !vec);
+        vec := []
+      in
+      Trace.iter trace (fun op ->
+          match op with
+          | Trace.Store s ->
+            vec := Coalesce.add ~coalesce:true ~data_threshold:64 !vec s ~syscall:!cur_syscall
+          | Trace.Fence ->
+            incr fence_no;
+            if !fence_no = cp.Report.fence_no then
+              stop_here
+                (match !cur_syscall with Some i -> Checker.During i | None -> Checker.Initial);
+            apply_all ()
+          | Trace.Syscall_begin { idx; _ } -> cur_syscall := Some idx
+          | Trace.Syscall_end { idx; _ } ->
+            cur_syscall := None;
+            incr fence_no;
+            if !fence_no = cp.Report.fence_no then stop_here (Checker.After idx));
+      Error "crash point not reached: report does not match this configuration"
+    with
+    | Found (image, phase, units) -> Ok (image, phase, units)
+    | Mismatch m -> Error m
+    | e -> Error ("reproduction failed: " ^ Pmem.Fault.to_string e)
+
+let in_flight_at driver report =
+  match rebuild driver report with Ok (_, _, units) -> Ok units | Error _ as e -> e
 
 let crash_state driver report =
   match rebuild driver report with
   | Error _ as e -> e
-  | Ok (image, phase) ->
+  | Ok (image, phase, _units) ->
     let mount () =
       let copy = Image.snapshot image in
       driver.Vfs.Driver.mount (Pm.create copy)
@@ -85,9 +110,19 @@ let crash_state driver report =
         match
           let tree = Vfs.Walker.capture h in
           let oracle = Oracle.run report.Report.workload in
-          Checker.check ~atomic_data:driver.Vfs.Driver.atomic_data
-            ~consistency:driver.Vfs.Driver.consistency ~workload:report.Report.workload ~oracle
-            ~phase ~tree
+          let ks =
+            Checker.check ~atomic_data:driver.Vfs.Driver.atomic_data
+              ~consistency:driver.Vfs.Driver.consistency ~workload:report.Report.workload ~oracle
+              ~phase ~tree
+          in
+          (* Mirror the harness: a state that passes the oracle checks must
+             also survive the usability probe, so [Unusable] findings
+             re-verify too. *)
+          if ks = [] then
+            match Harness.usability_probe h tree with
+            | Some m -> [ Report.Unusable m ]
+            | None -> []
+          else ks
         with
         | ks -> ks
         | exception e -> [ Report.Recovery_fault (Pmem.Fault.to_string e) ])

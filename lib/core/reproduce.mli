@@ -18,9 +18,19 @@ type crash_state = {
 }
 
 val crash_state : Vfs.Driver.t -> Report.t -> (crash_state, string) result
-(** Rebuild the crash state a report describes. Fails if the report's crash
-    point cannot be located (e.g. the report came from a different file
-    system or configuration). *)
+(** Rebuild the crash state a report describes. Never raises; returns
+    [Error] when the report does not match this driver — a different file
+    system name, a crash point past the end of the re-recorded trace, a
+    subset naming sequence numbers that are not in flight at the crash
+    point — or when the re-run itself faults. [check] mirrors the harness
+    exactly, including the post-recovery usability probe, so every report
+    kind (including [Unusable]) re-verifies. *)
+
+val in_flight_at : Vfs.Driver.t -> Report.t -> (Coalesce.t list, string) result
+(** The full in-flight vector (coalesced units, oldest first) at the
+    report's crash point — what the report's [subset] indexes into. The
+    minimizer uses it to annotate each surviving write with its address
+    span and originating persist operation. *)
 
 val verify : Vfs.Driver.t -> Report.t -> bool
 (** [true] when re-deriving the crash state reproduces a finding. *)

@@ -38,3 +38,11 @@ let cluster ?(threshold = 0.6) reports =
   List.map (fun c -> let rep, members = !c in { representative = rep; members = List.rev members })
     !clusters
   |> List.sort (fun a b -> compare (List.length b.members) (List.length a.members))
+
+let minimize ?opts driver clusters =
+  List.map
+    (fun c ->
+      match Shrink.Minimize.run ?opts driver c.representative with
+      | Ok o -> ({ c with representative = o.Shrink.Minimize.report }, Some o)
+      | Error _ -> (c, None))
+    clusters

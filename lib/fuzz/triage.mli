@@ -17,3 +17,13 @@ val cluster : ?threshold:float -> Chipmunk.Report.t list -> cluster list
 (** Greedy clustering: each report joins the first cluster whose
     representative is at least [threshold] (default 0.6) similar, else
     starts a new one. Clusters are returned largest first. *)
+
+val minimize :
+  ?opts:Chipmunk.Harness.opts ->
+  Vfs.Driver.t ->
+  cluster list ->
+  (cluster * Shrink.Minimize.outcome option) list
+(** Run {!Shrink.Minimize.run} on each cluster's representative — one
+    minimization per cluster, never per member. The representative is
+    replaced by its minimized form when minimization succeeds; [None]
+    means the representative did not reproduce and was left untouched. *)

@@ -1,0 +1,28 @@
+(** Self-contained reproducer artifacts.
+
+    The serialized form of a (minimized) finding: one JSON document
+    carrying the full report — workload in the {!Vfs.Workload_io} line
+    format, crash point and replayed subset — plus the shrink statistics
+    and per-write culprit annotations the minimizer derived. Loading it
+    back and handing the report to {!Chipmunk.Reproduce.crash_state}
+    rebuilds the bit-identical crash image; [chipmunk-cli reproduce] is a
+    thin wrapper around exactly that. A plain {!Chipmunk.Report.to_json}
+    document (no shrink metadata) also loads. *)
+
+type t = {
+  report : Chipmunk.Report.t;
+  stats : Minimize.stats option;  (** [None] for a plain, unminimized report. *)
+  culprits : Minimize.culprit list;
+}
+
+val of_outcome : Minimize.outcome -> t
+val of_report : Chipmunk.Report.t -> t
+
+val to_json : t -> string
+val of_json : string -> (t, string) result
+
+val save : path:string -> t -> unit
+val load : path:string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit
+(** The full report, followed by shrink stats and culprit annotations. *)

@@ -22,5 +22,14 @@ val of_string : string -> (Syscall.t list, string) result
 (** Parse errors name the offending line. Blank lines and [#] comments are
     ignored. *)
 
+val line_of_call : Syscall.t -> string
+(** One syscall as one line of the format above (no newline). This is also
+    the per-call encoding used inside {!Chipmunk.Report.to_json}'s workload
+    array, so saved reports round-trip through the same codec. *)
+
+val parse_line : string -> (Syscall.t, string) result
+(** Inverse of {!line_of_call}; the input must be a single non-comment,
+    non-blank line. *)
+
 val save : path:string -> Syscall.t list -> unit
 val load : path:string -> (Syscall.t list, string) result

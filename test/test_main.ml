@@ -17,5 +17,6 @@ let () =
       ("codecs", Test_codecs.suite);
       ("crash-battery", Test_crash_battery.suite);
       ("parallel", Test_parallel.suite);
+      ("shrink", Test_shrink.suite);
       ("stress", Test_stress.suite);
     ]
