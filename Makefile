@@ -1,8 +1,9 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: ci build test bench-perf bench-shrink shrink-smoke clean
+.PHONY: ci build test bench-perf bench-fuzz bench-shrink shrink-smoke \
+  fuzz-parallel-smoke clean
 
-ci: build test shrink-smoke
+ci: build test shrink-smoke fuzz-parallel-smoke
 
 build:
 	dune build @all
@@ -18,11 +19,27 @@ shrink-smoke:
 	  --out _build/bug-4.repro.json
 	dune exec bin/chipmunk_cli.exe -- reproduce --bug 4 _build/bug-4.repro.json
 
+# Sharded-fuzzer smoke test: a short campaign on buggy NOVA at --jobs 1
+# and --jobs 2 with the same seed must report the identical finding lines
+# (the Chipmunk.Run determinism contract), and must find something.
+fuzz-parallel-smoke:
+	dune exec bin/chipmunk_cli.exe -- fuzz --fs nova --buggy --execs 96 \
+	  --seed 7 --jobs 1 | grep '^finding' > _build/fuzz-smoke-j1.txt
+	dune exec bin/chipmunk_cli.exe -- fuzz --fs nova --buggy --execs 96 \
+	  --seed 7 --jobs 2 | grep '^finding' > _build/fuzz-smoke-j2.txt
+	test -s _build/fuzz-smoke-j1.txt
+	diff -u _build/fuzz-smoke-j1.txt _build/fuzz-smoke-j2.txt
+
 # Rewrite BENCH_parallel.json (sequential vs parallel wall-clock, dedup
 # hit-rate, states/sec) so the perf trajectory is tracked across PRs.
 # Override the worker-domain count with CHIPMUNK_JOBS=N.
 bench-perf:
 	dune exec bench/main.exe parallel
+
+# Rewrite BENCH_fuzz.json (fuzzer execs/sec at jobs=1/2/4 plus the
+# cross-job determinism check).
+bench-fuzz:
+	dune exec bench/main.exe fuzz-parallel
 
 # Rewrite BENCH_shrink.json (delta-debugging shrink factors over the
 # 25-bug corpus).

@@ -11,6 +11,8 @@
      perf         Obs. 2 + sect 6.2 - Bechamel microbenchmarks
      parallel     perf tracking - sequential vs --jobs, dedup hit-rate
                   (rewrites BENCH_parallel.json for cross-PR comparison)
+     fuzz-parallel perf tracking - fuzzer execs/sec at jobs=1/2/4 plus the
+                  cross-job determinism check (rewrites BENCH_fuzz.json)
      shrink       minimizer  - delta-debugging shrink factors over the bug
                   corpus (rewrites BENCH_shrink.json)
      ablation     DESIGN.md - coalescing design choice
@@ -101,8 +103,10 @@ let figure3 () =
       (fun (b : Catalog.t) ->
         let ace_time =
           let r =
-            Chipmunk.Campaign.run_parallel ~opts ~stop_after_findings:1 ~max_seconds:30.0
-              ~keep_sizes:false ~jobs (b.Catalog.driver ()) (ace_suite ())
+            Chipmunk.Campaign.run
+              ~exec:(Chipmunk.Run.exec ~opts ~keep_sizes:false ~jobs ())
+              ~budget:(Chipmunk.Run.budget ~stop_after_findings:1 ~max_seconds:30.0 ())
+              (b.Catalog.driver ()) (ace_suite ())
           in
           match r.Chipmunk.Campaign.events with
           | e :: _ -> Some e.Chipmunk.Campaign.elapsed
@@ -110,13 +114,12 @@ let figure3 () =
         in
         let fuzz_time =
           let config =
-            {
-              Fuzz.Fuzzer.default_config with
-              Fuzz.Fuzzer.rng_seed = 7 + b.Catalog.bug_no;
-              max_execs = 50_000;
-              max_seconds = 20.0;
-              stop_after_findings = Some 1;
-            }
+            Fuzz.Fuzzer.config
+              ~rng_seed:(7 + b.Catalog.bug_no)
+              ~budget:
+                (Chipmunk.Run.budget ~max_execs:50_000 ~max_seconds:20.0
+                   ~stop_after_findings:1 ())
+              ()
           in
           let r = Fuzz.Fuzzer.run ~config (b.Catalog.driver ()) in
           match r.Fuzz.Fuzzer.events with
@@ -180,7 +183,7 @@ let suite_stats () =
             Seq.append (Ace.seq1 Ace.Fsync) (Seq.take 1500 (Ace.seq2 Ace.Fsync))
           else Seq.append (Ace.seq1 Ace.Strong) (Ace.seq2 Ace.Strong)
         in
-        Chipmunk.Campaign.run ~keep_sizes:false (mk ()) suite)
+        Chipmunk.Campaign.run ~exec:(Chipmunk.Run.exec ~keep_sizes:false ()) (mk ()) suite)
       (List.to_seq Catalog.clean_drivers)
   in
   let rows =
@@ -477,14 +480,21 @@ let parallel_perf () =
   let no_dedup = { Chipmunk.Harness.default_opts with dedup_states = false } in
   let seq_nd, t_seq_nd =
     time (fun () ->
-        Chipmunk.Campaign.run ~opts:no_dedup ~keep_sizes:false (mk_driver ()) (suite ()))
+        Chipmunk.Campaign.run
+          ~exec:(Chipmunk.Run.exec ~opts:no_dedup ~keep_sizes:false ())
+          (mk_driver ()) (suite ()))
   in
   let seq, t_seq =
-    time (fun () -> Chipmunk.Campaign.run ~keep_sizes:false (mk_driver ()) (suite ()))
+    time (fun () ->
+        Chipmunk.Campaign.run
+          ~exec:(Chipmunk.Run.exec ~keep_sizes:false ())
+          (mk_driver ()) (suite ()))
   in
   let par, t_par =
     time (fun () ->
-        Chipmunk.Campaign.run_parallel ~keep_sizes:false ~jobs (mk_driver ()) (suite ()))
+        Chipmunk.Campaign.run
+          ~exec:(Chipmunk.Run.exec ~keep_sizes:false ~jobs ())
+          (mk_driver ()) (suite ()))
   in
   let fps (r : Chipmunk.Campaign.result) =
     List.map (fun e -> e.Chipmunk.Campaign.fingerprint) r.Chipmunk.Campaign.events
@@ -553,6 +563,99 @@ let parallel_perf () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote BENCH_parallel.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* Sharded fuzzer perf tracking                                        *)
+
+(* E12: fuzzer throughput at jobs=1/2/4 plus the determinism contract
+   (same seed, any job count -> identical finding fingerprints, coverage
+   and corpus). Rewrites BENCH_fuzz.json so the trajectory is comparable
+   across commits. *)
+let fuzz_parallel () =
+  header
+    (Printf.sprintf "Sharded fuzzer: execs/sec at jobs=1/2/4 (%d core(s) recommended)"
+       (Domain.recommended_domain_count ()));
+  let mk_driver () =
+    match Catalog.buggy_driver "nova" with
+    | Some mk -> mk ()
+    | None -> Novafs.driver ()
+  in
+  let max_execs = 256 in
+  let run_at jobs =
+    let config =
+      Fuzz.Fuzzer.config ~rng_seed:42
+        ~budget:(Chipmunk.Run.budget ~max_execs ())
+        ~exec:
+          (Chipmunk.Run.exec
+             ~opts:{ Chipmunk.Harness.default_opts with cap = Some 2 }
+             ~jobs ())
+        ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = Fuzz.Fuzzer.run ~config (mk_driver ()) in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let job_counts = [ 1; 2; 4 ] in
+  let runs = List.map (fun j -> (j, run_at j)) job_counts in
+  let fps (r : Fuzz.Fuzzer.result) =
+    List.map (fun (e : Fuzz.Fuzzer.event) -> e.Fuzz.Fuzzer.fingerprint) r.Fuzz.Fuzzer.events
+  in
+  let base, _ = List.assoc 1 runs in
+  let deterministic =
+    List.for_all
+      (fun (_, ((r : Fuzz.Fuzzer.result), _)) ->
+        fps r = fps base
+        && r.Fuzz.Fuzzer.coverage = base.Fuzz.Fuzzer.coverage
+        && r.Fuzz.Fuzzer.corpus_size = base.Fuzz.Fuzzer.corpus_size
+        && r.Fuzz.Fuzzer.execs = base.Fuzz.Fuzzer.execs)
+      runs
+  in
+  Printf.printf "%-8s %8s %10s %12s %10s %8s %8s\n" "jobs" "execs" "time(s)" "execs/sec"
+    "states" "cov" "findings";
+  List.iter
+    (fun (j, ((r : Fuzz.Fuzzer.result), t)) ->
+      Printf.printf "%-8d %8d %10.2f %12.1f %10d %8d %8d\n" j r.Fuzz.Fuzzer.execs t
+        (float_of_int r.Fuzz.Fuzzer.execs /. Float.max 1e-9 t)
+        r.Fuzz.Fuzzer.crash_states r.Fuzz.Fuzzer.coverage
+        (List.length r.Fuzz.Fuzzer.events))
+    runs;
+  let t1 = snd (List.assoc 1 runs) and t4 = snd (List.assoc 4 runs) in
+  Printf.printf "jobs=4 speedup %.2fx, cross-job determinism: %s\n" (t1 /. t4)
+    (if deterministic then "identical" else "DIFFER");
+  let module J = Chipmunk.Json in
+  let run_obj ((r : Fuzz.Fuzzer.result), t) =
+    J.obj
+      [
+        ("seconds", Printf.sprintf "%.4f" t);
+        ("execs", string_of_int r.Fuzz.Fuzzer.execs);
+        ("execs_per_sec", Printf.sprintf "%.1f" (float_of_int r.Fuzz.Fuzzer.execs /. Float.max 1e-9 t));
+        ("crash_states", string_of_int r.Fuzz.Fuzzer.crash_states);
+        ("coverage", string_of_int r.Fuzz.Fuzzer.coverage);
+        ("corpus_size", string_of_int r.Fuzz.Fuzzer.corpus_size);
+        ("findings", string_of_int (List.length r.Fuzz.Fuzzer.events));
+        ("fingerprints", J.arr (List.map J.str (fps r)));
+      ]
+  in
+  let json =
+    J.obj
+      [
+        ("schema", J.str "chipmunk-bench-fuzz/1");
+        ("fs", J.str "nova-buggy");
+        ("rng_seed", "42");
+        ("max_execs", string_of_int max_execs);
+        ("recommended_domains", string_of_int (Domain.recommended_domain_count ()));
+        ( "runs",
+          J.obj (List.map (fun (j, rt) -> (Printf.sprintf "jobs%d" j, run_obj rt)) runs) );
+        ( "speedup_jobs4",
+          Printf.sprintf "%.3f" (snd (List.assoc 1 runs) /. snd (List.assoc 4 runs)) );
+        ("deterministic_across_jobs", string_of_bool deterministic);
+      ]
+  in
+  let oc = open_out "BENCH_fuzz.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_fuzz.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Minimizer shrink factors                                            *)
@@ -723,7 +826,10 @@ let ablation () =
     !found_on;
   (* The full suites remain sound when run at the paper's fuzzing cap. *)
   let opts = { Chipmunk.Harness.default_opts with cap = Some 2 } in
-  let r = Chipmunk.Campaign.run ~opts (Novafs.driver ()) (Ace.seq1 Ace.Strong) in
+  let r =
+    Chipmunk.Campaign.run ~exec:(Chipmunk.Run.exec ~opts ()) (Novafs.driver ())
+      (Ace.seq1 Ace.Strong)
+  in
   Printf.printf "\nseq-1 on clean NOVA at cap=2: %d states, %d findings (expect 0)\n"
     r.Chipmunk.Campaign.crash_states
     (List.length r.Chipmunk.Campaign.events)
@@ -733,7 +839,7 @@ let ablation () =
 let all_experiments =
   [
     table1; table2; suite_stats; cap_sweep; inflight; ablation; figure3; perf; parallel_perf;
-    shrink_bench;
+    fuzz_parallel; shrink_bench;
   ]
 
 let () =
@@ -747,10 +853,11 @@ let () =
   | [| _; "inflight" |] -> inflight ()
   | [| _; "perf" |] -> perf ()
   | [| _; "parallel" |] -> parallel_perf ()
+  | [| _; "fuzz-parallel" |] -> fuzz_parallel ()
   | [| _; "shrink" |] -> shrink_bench ()
   | [| _; "ablation" |] -> ablation ()
   | _ ->
     prerr_endline
       "usage: main.exe \
-       [table1|table2|figure3|suite-stats|cap-sweep|inflight|perf|parallel|shrink|ablation]";
+       [table1|table2|figure3|suite-stats|cap-sweep|inflight|perf|parallel|fuzz-parallel|shrink|ablation]";
     exit 1

@@ -6,7 +6,12 @@
      chipmunk-cli fuzz --fs winefs --execs N  run a fuzzing campaign
      chipmunk-cli bug --no 4                  reproduce one catalogued bug
      chipmunk-cli minimize report.json        shrink a finding to a reproducer
-     chipmunk-cli reproduce bug.repro.json    rebuild and re-verify a reproducer *)
+     chipmunk-cli reproduce bug.repro.json    rebuild and re-verify a reproducer
+
+   The campaign-style subcommands (ace, fuzz, replay) parse one shared
+   execution/budget flag table — --cap, --no-dedup, --jobs, --max-seconds,
+   --stop-after, --minimize — into the Chipmunk.Run records instead of
+   keeping per-subcommand copies. *)
 
 open Cmdliner
 
@@ -30,31 +35,60 @@ let buggy_arg =
   let doc = "Arm the catalogued bugs of the chosen file system." in
   Arg.(value & flag & info [ "buggy" ] ~doc)
 
+(* --- The shared execution/budget flag table --- *)
+
+type common = {
+  cap : int;  (* 0 = subcommand default *)
+  no_dedup : bool;
+  jobs : int;
+  max_seconds : float option;
+  stop_after : int option;
+  minimize : bool;
+}
+
 let cap_arg =
-  let doc = "Cap on in-flight writes replayed per crash state (0 = exhaustive)." in
-  Arg.(value & opt int 0 & info [ "cap" ] ~docv:"N" ~doc)
-
-let opts_of_cap ?(dedup = true) cap =
-  let opts =
-    if cap <= 0 then Chipmunk.Harness.default_opts
-    else { Chipmunk.Harness.default_opts with cap = Some cap }
-  in
-  { opts with dedup_states = dedup }
-
-let jobs_arg =
   let doc =
-    "Worker domains for the campaign (0 = one per core). 1 runs sequentially; findings \
-     are identical either way."
+    "Cap on in-flight writes replayed per crash state (0 = the subcommand default: \
+     exhaustive for ace/replay, 2 for fuzz)."
   in
-  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  Arg.(value & opt int 0 & info [ "cap" ] ~docv:"N" ~doc)
 
 let no_dedup_arg =
   let doc = "Disable the crash-state dedup cache (mount and check every enumerated state)." in
   Arg.(value & flag & info [ "no-dedup" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the campaign (0 = one per core). 1 runs in the calling domain; \
+     findings are identical at any job count."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let max_seconds_arg =
+  let doc = "Wall-clock budget in seconds (default: unlimited for ace, 30 for fuzz)." in
+  Arg.(value & opt (some float) None & info [ "max-seconds"; "seconds" ] ~docv:"S" ~doc)
+
+let stop_after_arg =
+  let doc = "Stop after this many unique findings." in
+  Arg.(value & opt (some int) None & info [ "stop-after" ] ~docv:"N" ~doc)
+
 let minimize_flag =
   let doc = "Minimize each finding with the delta-debugging shrinker before printing." in
   Arg.(value & flag & info [ "minimize" ] ~doc)
+
+let common_term =
+  let mk cap no_dedup jobs max_seconds stop_after minimize =
+    { cap; no_dedup; jobs; max_seconds; stop_after; minimize }
+  in
+  Term.(
+    const mk $ cap_arg $ no_dedup_arg $ jobs_arg $ max_seconds_arg $ stop_after_arg
+    $ minimize_flag)
+
+(* Harness opts from the shared flags; [default_cap] is the subcommand's
+   cap when --cap is 0 (None = exhaustive). *)
+let opts_of_common ?default_cap (c : common) =
+  let cap = if c.cap <= 0 then default_cap else Some c.cap in
+  { Chipmunk.Harness.default_opts with cap; dedup_states = not c.no_dedup }
 
 let list_cmd =
   let run () =
@@ -89,7 +123,7 @@ let max_workloads_arg =
   Arg.(value & opt int 0 & info [ "max-workloads" ] ~docv:"N" ~doc)
 
 let ace_cmd =
-  let run fs buggy suite cap max_workloads jobs no_dedup minimize =
+  let run fs buggy suite max_workloads (c : common) =
     match driver_of_name ~buggy fs with
     | Error e ->
       prerr_endline e;
@@ -111,16 +145,16 @@ let ace_cmd =
         1
       | Ok workloads ->
         let max_workloads = if max_workloads = 0 then None else Some max_workloads in
-        let opts = opts_of_cap ~dedup:(not no_dedup) cap in
+        let opts = opts_of_common c in
         let minimize =
-          if minimize then Some (Shrink.Minimize.rewrite ~opts driver) else None
+          if c.minimize then Some (Shrink.Minimize.rewrite ~opts driver) else None
         in
-        let r =
-          if jobs = 1 then Chipmunk.Campaign.run ~opts ?minimize ?max_workloads driver workloads
-          else
-            let jobs = if jobs <= 0 then None else Some jobs in
-            Chipmunk.Campaign.run_parallel ~opts ?minimize ?max_workloads ?jobs driver workloads
+        let exec = Chipmunk.Run.exec ~opts ?minimize ~jobs:c.jobs () in
+        let budget =
+          Chipmunk.Run.budget ?max_seconds:c.max_seconds ?stop_after_findings:c.stop_after
+            ?max_workloads ()
         in
+        let r = Chipmunk.Campaign.run ~exec ~budget driver workloads in
         Printf.printf
           "%s/%s: %d workloads, %d crash points, %d crash states (%d dedup-skipped), \
            %.2fs, max in-flight %d\n"
@@ -141,17 +175,11 @@ let ace_cmd =
   in
   Cmd.v
     (Cmd.info "ace" ~doc:"Run an ACE workload suite under Chipmunk")
-    Term.(
-      const run $ fs_arg $ buggy_arg $ suite_arg $ cap_arg $ max_workloads_arg $ jobs_arg
-      $ no_dedup_arg $ minimize_flag)
+    Term.(const run $ fs_arg $ buggy_arg $ suite_arg $ max_workloads_arg $ common_term)
 
 let execs_arg =
   let doc = "Maximum fuzzer executions." in
   Arg.(value & opt int 500 & info [ "execs" ] ~docv:"N" ~doc)
-
-let seconds_arg =
-  let doc = "Maximum fuzzing time in seconds." in
-  Arg.(value & opt float 30.0 & info [ "seconds" ] ~docv:"S" ~doc)
 
 let seed_arg =
   let doc = "Fuzzer RNG seed." in
@@ -164,51 +192,59 @@ let save_arg =
   Arg.(value & opt (some string) None & info [ "save" ] ~docv:"DIR" ~doc)
 
 let fuzz_cmd =
-  let run fs buggy execs seconds seed save minimize =
+  let run fs buggy execs seed save (c : common) =
     match driver_of_name ~buggy fs with
     | Error e ->
       prerr_endline e;
       1
     | Ok driver ->
-      let config =
-        {
-          Fuzz.Fuzzer.default_config with
-          Fuzz.Fuzzer.rng_seed = seed;
-          max_execs = execs;
-          max_seconds = seconds;
-        }
+      (* The paper runs the fuzzer with a replayed-writes cap of 2. *)
+      let opts = opts_of_common ~default_cap:2 c in
+      let exec = Chipmunk.Run.exec ~opts ~jobs:c.jobs () in
+      let budget =
+        Chipmunk.Run.budget ~max_execs:execs
+          ~max_seconds:(Option.value c.max_seconds ~default:30.0)
+          ?stop_after_findings:c.stop_after ()
       in
+      let config = Fuzz.Fuzzer.config ~rng_seed:seed ~budget ~exec () in
       let r = Fuzz.Fuzzer.run ~config driver in
       Printf.printf
-        "%s: %d execs, %d crash states, coverage %d, corpus %d, %.2fs\n" fs r.Fuzz.Fuzzer.execs
-        r.Fuzz.Fuzzer.crash_states r.Fuzz.Fuzzer.coverage r.Fuzz.Fuzzer.corpus_size
-        r.Fuzz.Fuzzer.elapsed;
+        "%s: %d execs, %d crash states, coverage %d, corpus %d, %.2fs (jobs=%d)\n" fs
+        r.Fuzz.Fuzzer.execs r.Fuzz.Fuzzer.crash_states r.Fuzz.Fuzzer.coverage
+        r.Fuzz.Fuzzer.corpus_size r.Fuzz.Fuzzer.elapsed c.jobs;
       Printf.printf "%d unique finding(s) in %d cluster(s)\n"
         (List.length r.Fuzz.Fuzzer.events)
         (List.length r.Fuzz.Fuzzer.clusters);
-      if minimize then
+      (* One line per unique finding; every field here is deterministic
+         across job counts, which is what the CI fuzz-parallel smoke test
+         diffs. *)
+      List.iter
+        (fun (e : Fuzz.Fuzzer.event) ->
+          Printf.printf "finding %s at-exec %d\n" e.Fuzz.Fuzzer.fingerprint
+            e.Fuzz.Fuzzer.at_exec)
+        r.Fuzz.Fuzzer.events;
+      if c.minimize then
         List.iteri
-          (fun i (c, o) ->
+          (fun i (cl, o) ->
             match o with
             | None ->
               Printf.printf "  cluster %d (%d reports): %s [did not reproduce]\n" i
-                (List.length c.Fuzz.Triage.members)
-                (Chipmunk.Report.summary c.Fuzz.Triage.representative)
+                (List.length cl.Fuzz.Triage.members)
+                (Chipmunk.Report.summary cl.Fuzz.Triage.representative)
             | Some (o : Shrink.Minimize.outcome) ->
               Printf.printf "  cluster %d (%d reports): %s [%d -> %d ops, %d -> %d writes]\n" i
-                (List.length c.Fuzz.Triage.members)
-                (Chipmunk.Report.summary c.Fuzz.Triage.representative)
+                (List.length cl.Fuzz.Triage.members)
+                (Chipmunk.Report.summary cl.Fuzz.Triage.representative)
                 o.Shrink.Minimize.stats.Shrink.Minimize.ops_before
                 o.Shrink.Minimize.stats.Shrink.Minimize.ops_after
                 o.Shrink.Minimize.stats.Shrink.Minimize.subset_before
                 o.Shrink.Minimize.stats.Shrink.Minimize.subset_after)
-          (Fuzz.Triage.minimize ~opts:config.Fuzz.Fuzzer.harness_opts driver
-             r.Fuzz.Fuzzer.clusters)
+          (Fuzz.Triage.minimize ~opts driver r.Fuzz.Fuzzer.clusters)
       else
         List.iteri
-          (fun i (c : Fuzz.Triage.cluster) ->
-            Printf.printf "  cluster %d (%d reports): %s\n" i (List.length c.Fuzz.Triage.members)
-              (Chipmunk.Report.summary c.Fuzz.Triage.representative))
+          (fun i (cl : Fuzz.Triage.cluster) ->
+            Printf.printf "  cluster %d (%d reports): %s\n" i (List.length cl.Fuzz.Triage.members)
+              (Chipmunk.Report.summary cl.Fuzz.Triage.representative))
           r.Fuzz.Fuzzer.clusters;
       (match save with
       | None -> ()
@@ -227,16 +263,14 @@ let fuzz_cmd =
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a gray-box fuzzing campaign under Chipmunk")
-    Term.(
-      const run $ fs_arg $ buggy_arg $ execs_arg $ seconds_arg $ seed_arg $ save_arg
-      $ minimize_flag)
+    Term.(const run $ fs_arg $ buggy_arg $ execs_arg $ seed_arg $ save_arg $ common_term)
 
 let file_arg =
   let doc = "Workload file (one syscall per line; see Vfs.Workload_io)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
 
 let replay_cmd =
-  let run fs buggy cap file =
+  let run fs buggy (c : common) file =
     match driver_of_name ~buggy fs with
     | Error e ->
       prerr_endline e;
@@ -247,7 +281,8 @@ let replay_cmd =
         Printf.eprintf "cannot load %s: %s\n" file e;
         1
       | Ok workload ->
-        let r = Chipmunk.Harness.test_workload ~opts:(opts_of_cap cap) driver workload in
+        let exec = Chipmunk.Run.exec ~opts:(opts_of_common c) () in
+        let r = Chipmunk.Run.workload ~exec driver workload in
         Printf.printf "%s: %d crash states checked\n" fs
           r.Chipmunk.Harness.stats.Chipmunk.Harness.crash_states;
         (match r.Chipmunk.Harness.reports with
@@ -260,7 +295,7 @@ let replay_cmd =
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay a saved workload file under Chipmunk")
-    Term.(const run $ fs_arg $ buggy_arg $ cap_arg $ file_arg)
+    Term.(const run $ fs_arg $ buggy_arg $ common_term $ file_arg)
 
 let bug_no_arg =
   let doc = "Catalogued bug number (paper Table 1)." in
@@ -344,6 +379,14 @@ let resolve_source ~file ~bug ~fs ~buggy ~opts =
           (driver_of_name ~buggy fs))
   | None, None -> Error "pass a report FILE or --bug N"
 
+let legacy_cap_arg =
+  let doc = "Cap on in-flight writes replayed per crash state (0 = exhaustive)." in
+  Arg.(value & opt int 0 & info [ "cap" ] ~docv:"N" ~doc)
+
+let opts_of_cap cap =
+  if cap <= 0 then Chipmunk.Harness.default_opts
+  else { Chipmunk.Harness.default_opts with cap = Some cap }
+
 let minimize_cmd =
   let run file bug fs buggy cap out expect_shrink =
     let opts = opts_of_cap cap in
@@ -385,8 +428,8 @@ let minimize_cmd =
     (Cmd.info "minimize"
        ~doc:"Shrink a finding to a minimal, replayable reproducer (delta debugging)")
     Term.(
-      const run $ report_file_arg $ bug_opt_arg $ fs_opt_arg $ buggy_arg $ cap_arg $ out_arg
-      $ expect_shrink_arg)
+      const run $ report_file_arg $ bug_opt_arg $ fs_opt_arg $ buggy_arg $ legacy_cap_arg
+      $ out_arg $ expect_shrink_arg)
 
 let reproduce_cmd =
   let run file bug fs buggy =

@@ -10,12 +10,9 @@ let () =
   let driver = (Option.get (Catalog.buggy_driver fs)) () in
   Printf.printf "fuzzing %s with its catalogued bugs armed...\n%!" fs;
   let config =
-    {
-      Fuzz.Fuzzer.default_config with
-      Fuzz.Fuzzer.rng_seed = 2024;
-      max_execs = 1500;
-      max_seconds = 30.0;
-    }
+    Fuzz.Fuzzer.config ~rng_seed:2024
+      ~budget:(Chipmunk.Run.budget ~max_execs:1500 ~max_seconds:30.0 ())
+      ()
   in
   let r = Fuzz.Fuzzer.run ~config driver in
   Printf.printf "executions:     %d\n" r.Fuzz.Fuzzer.execs;

@@ -18,12 +18,10 @@ type result = {
   max_in_flight : int;
 }
 
-exception Done
-
-(* Shared per-campaign accumulator: merging one workload's harness result
-   must be identical between the sequential and the parallel runner (the
-   parallel runner feeds results in workload-index order, so the
-   first-workload-wins dedup below is deterministic under any schedule). *)
+(* Per-campaign accumulator: one workload's harness result is merged the
+   same way whatever the worker count — the pool feeds results in
+   workload-index order, so the first-workload-wins dedup below is
+   deterministic under any schedule. *)
 type acc = {
   seen : (string, unit) Hashtbl.t;
   mutable events : event list;  (* newest first *)
@@ -49,11 +47,10 @@ let acc_create ~keep_sizes =
     keep_sizes;
   }
 
-(* Fold one workload's result in; calls [on_new_finding] for each
-   fingerprint not seen earlier in the campaign. [minimize] runs only on
-   those first occurrences — after dedup — so a campaign pays minimization
-   cost once per unique fingerprint, not once per duplicate report. *)
-let acc_add acc ~name ~index ~elapsed ~minimize ~on_new_finding (r : Harness.result) =
+(* Fold one workload's result in. [minimize] runs only on first
+   occurrences — after dedup — so a campaign pays minimization cost once
+   per unique fingerprint, not once per duplicate report. *)
+let acc_add acc ~name ~index ~elapsed ~minimize (r : Harness.result) =
   acc.workloads <- acc.workloads + 1;
   acc.states <- acc.states + r.Harness.stats.Harness.crash_states;
   acc.points <- acc.points + r.Harness.stats.Harness.crash_points;
@@ -76,8 +73,7 @@ let acc_add acc ~name ~index ~elapsed ~minimize ~on_new_finding (r : Harness.res
             elapsed;
             states_so_far = acc.states;
           }
-          :: acc.events;
-        on_new_finding ()
+          :: acc.events
       end)
     r.Harness.reports
 
@@ -93,44 +89,29 @@ let acc_result acc ~elapsed =
     max_in_flight = acc.max_if;
   }
 
-let run ?opts ?minimize ?stop_after_findings ?max_workloads ?max_seconds ?(keep_sizes = true)
-    driver suite =
-  let t0 = Unix.gettimeofday () in
-  let acc = acc_create ~keep_sizes in
-  (try
-     Seq.iteri
-       (fun i (name, workload) ->
-         (match max_workloads with Some m when i >= m -> raise Done | _ -> ());
-         (match max_seconds with
-         | Some s when Unix.gettimeofday () -. t0 > s -> raise Done
-         | _ -> ());
-         let r = Harness.test_workload ?opts driver workload in
-         acc_add acc ~name ~index:i
-           ~elapsed:(Unix.gettimeofday () -. t0)
-           ~minimize
-           ~on_new_finding:(fun () ->
-             match stop_after_findings with
-             | Some n when Hashtbl.length acc.seen >= n -> raise Done
-             | _ -> ())
-           r)
-       suite
-   with Done -> ());
-  acc_result acc ~elapsed:(Unix.gettimeofday () -. t0)
-
 let take n l = List.filteri (fun i _ -> i < n) l
 
-let run_parallel ?opts ?minimize ?stop_after_findings ?max_workloads ?max_seconds
-    ?(keep_sizes = true) ?jobs driver suite =
+let run ?(exec = Run.default_exec) ?(budget = Run.unlimited) driver suite =
   let t0 = Unix.gettimeofday () in
-  let suite = match max_workloads with None -> suite | Some m -> Seq.take m suite in
+  (* A campaign's unit of execution is one workload, so [max_execs] and
+     [max_workloads] bound the same counter; both are enforced up front by
+     truncating the suite. *)
+  let wl_cap =
+    match (budget.Run.max_workloads, budget.Run.max_execs) with
+    | None, None -> None
+    | Some m, None | None, Some m -> Some m
+    | Some a, Some b -> Some (min a b)
+  in
+  let suite = match wl_cap with None -> suite | Some m -> Seq.take m suite in
   (* Live early-stop state, updated under the pool lock as workloads finish
      (in completion order). It only decides when to stop dispatching; the
      returned result is merged deterministically below. *)
   let live_seen : (string, unit) Hashtbl.t = Hashtbl.create 32 in
   let found = Atomic.make 0 in
   let stop () =
-    (match max_seconds with Some s -> Unix.gettimeofday () -. t0 > s | None -> false)
-    || match stop_after_findings with Some n -> Atomic.get found >= n | None -> false
+    Run.out_of_budget budget ~execs:0 ~workloads:0
+      ~seconds:(Unix.gettimeofday () -. t0)
+      ~findings:(Atomic.get found)
   in
   let on_result _index ((r : Harness.result), _done_at) =
     List.iter
@@ -143,23 +124,42 @@ let run_parallel ?opts ?minimize ?stop_after_findings ?max_workloads ?max_second
       r.Harness.reports
   in
   let work (_name, workload) =
-    let r = Harness.test_workload ?opts driver workload in
+    let r = Harness.test_workload ~opts:exec.Run.opts driver workload in
     (r, Unix.gettimeofday () -. t0)
   in
-  let completed = Pool.map ?jobs ~stop ~on_result work suite in
+  let completed =
+    Pool.map ~jobs:(Run.effective_jobs exec) ~stop ~on_result work suite
+  in
   (* Deterministic merge: completed workloads arrive sorted by workload
      index, so fingerprint dedup ties always resolve to the lowest index,
      independent of domain scheduling. Minimization also happens here, on
      the caller's domain, so it too only runs on the deterministic set of
      first occurrences. *)
-  let acc = acc_create ~keep_sizes in
+  let acc = acc_create ~keep_sizes:exec.Run.keep_sizes in
   List.iter
     (fun (i, (name, _workload), (r, done_at)) ->
-      acc_add acc ~name ~index:i ~elapsed:done_at ~minimize ~on_new_finding:(fun () -> ()) r)
+      acc_add acc ~name ~index:i ~elapsed:done_at ~minimize:exec.Run.minimize r)
     completed;
   let result = acc_result acc ~elapsed:(Unix.gettimeofday () -. t0) in
   (* Workloads past the n-th finding may already have been dispatched;
-     truncate to match the sequential runner's contract. *)
-  match stop_after_findings with
+     truncate so the findings cap is exact under any worker count. *)
+  match budget.Run.stop_after_findings with
   | Some n when List.length result.events > n -> { result with events = take n result.events }
   | _ -> result
+
+(* --- Deprecated pre-Run wrappers (one PR of grace for out-of-tree
+   callers; everything in-tree is on the record API). --- *)
+
+let run_seq ?opts ?minimize ?stop_after_findings ?max_workloads ?max_seconds
+    ?(keep_sizes = true) driver suite =
+  run
+    ~exec:(Run.exec ?opts ?minimize ~keep_sizes ~jobs:1 ())
+    ~budget:(Run.budget ?max_seconds ?stop_after_findings ?max_workloads ())
+    driver suite
+
+let run_parallel ?opts ?minimize ?stop_after_findings ?max_workloads ?max_seconds
+    ?(keep_sizes = true) ?jobs driver suite =
+  run
+    ~exec:(Run.exec ?opts ?minimize ~keep_sizes ~jobs:(Option.value jobs ~default:0) ())
+    ~budget:(Run.budget ?max_seconds ?stop_after_findings ?max_workloads ())
+    driver suite

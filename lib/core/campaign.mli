@@ -3,18 +3,21 @@
     Figure 3 (cumulative time to find bugs) and the section 4.3 suite
     statistics.
 
-    Two drivers share one deterministic merge: {!run} tests workloads
-    sequentially in suite order; {!run_parallel} shards the suite across
+    One entry point, {!run}, configured by the shared {!Run.exec} /
+    {!Run.budget} records: [exec.jobs = 1] tests workloads sequentially in
+    suite order in the calling domain; [jobs > 1] shards the suite across
     OCaml 5 domains (see {!Pool}) and merges results in workload-index
-    order, so both produce the same finding fingerprints attributed to the
-    same workload indices. *)
+    order, so every job count produces the same finding fingerprints
+    attributed to the same workload indices. *)
 
 type event = {
   fingerprint : string;
   report : Report.t;
   workload_name : string;
   workload_index : int;  (** Position of the workload in the suite. *)
-  elapsed : float;  (** Seconds of wall time since campaign start. *)
+  elapsed : float;
+      (** Wall-clock completion time (seconds since campaign start) of the
+          workload that found it — the same contract at every job count. *)
   states_so_far : int;  (** Crash states checked before the discovery. *)
 }
 
@@ -29,11 +32,37 @@ type result = {
   elapsed : float;
   in_flight_sizes : int list;
       (** One sample per crash point, unordered; empty when the campaign
-          was run with [~keep_sizes:false]. *)
+          was run with [exec.keep_sizes = false]. *)
   max_in_flight : int;
 }
 
 val run :
+  ?exec:Run.exec ->
+  ?budget:Run.budget ->
+  Vfs.Driver.t ->
+  (string * Vfs.Syscall.t list) Seq.t ->
+  result
+(** Run the suite under [exec] (how: harness opts, minimizer, worker
+    domains) within [budget] (when to stop), deduplicating findings by
+    fingerprint across the whole campaign. Defaults: {!Run.default_exec}
+    and {!Run.unlimited}.
+
+    Each worker runs {!Harness.test_workload} on its own device image, so
+    no harness state is shared. Findings, their fingerprints and their
+    [workload_index] attributions are deterministic across job counts
+    because results are merged in workload-index order with ties broken by
+    lowest index. [exec.minimize] is applied in that merge phase, after
+    campaign-wide dedup — its cost is paid once per unique bug.
+
+    Budget caps: [max_workloads] (and its campaign synonym [max_execs])
+    truncate the suite up front; [max_seconds] and [stop_after_findings]
+    stop the campaign from dispatching further workloads once satisfied —
+    in-flight workloads still complete (and are merged), so with [jobs >
+    1] and one of these set, [workloads_run] may exceed what a sequential
+    run would have executed. The [events] list is truncated to
+    [stop_after_findings] entries. *)
+
+val run_seq :
   ?opts:Harness.opts ->
   ?minimize:(Report.t -> Report.t) ->
   ?stop_after_findings:int ->
@@ -43,16 +72,10 @@ val run :
   Vfs.Driver.t ->
   (string * Vfs.Syscall.t list) Seq.t ->
   result
-(** Run workloads in suite order, deduplicating findings by fingerprint
-    across the whole campaign. [keep_sizes] (default [true]) controls
-    whether the per-crash-point in-flight size samples are retained; long
-    campaigns that do not consume them should pass [false] so the
-    accumulator stays O(1) per crash point.
-
-    [minimize] (typically [Shrink.Minimize.rewrite]) is applied to each
-    finding {e after} campaign-wide fingerprint dedup, so its cost is paid
-    once per unique bug rather than once per duplicate report. It must
-    preserve the fingerprint. *)
+[@@ocaml.deprecated "use Campaign.run ?exec ?budget (Run records)"]
+(** @deprecated The pre-{!Run} sequential entry point; equivalent to
+    {!run} with [~exec:(Run.exec ?opts ?minimize ?keep_sizes ~jobs:1 ())]
+    and the matching budget. Removed next PR. *)
 
 val run_parallel :
   ?opts:Harness.opts ->
@@ -65,17 +88,7 @@ val run_parallel :
   Vfs.Driver.t ->
   (string * Vfs.Syscall.t list) Seq.t ->
   result
-(** Like {!run}, but shards the suite across [jobs] worker domains
-    (default {!Pool.default_jobs}; [jobs <= 1] degenerates to a sequential
-    run). Each worker runs {!Harness.test_workload} on its own device
-    image, so no harness state is shared. Findings, their fingerprints and
-    their [workload_index] attributions are deterministic — identical to
-    {!run} on the same suite — because results are merged in workload-index
-    order with ties broken by lowest index.
-
-    [stop_after_findings] and [max_seconds] stop the campaign from
-    dispatching further workloads once satisfied; in-flight workloads still
-    complete (and are merged), so with these set, [workloads_run] may
-    exceed what the sequential runner would have executed. The [events]
-    list is truncated to [stop_after_findings] entries. [elapsed] on each
-    event is the wall-clock completion time of the workload that found it. *)
+[@@ocaml.deprecated "use Campaign.run ?exec ?budget (Run records)"]
+(** @deprecated The pre-{!Run} parallel entry point; equivalent to {!run}
+    with the same options carried in the records ([jobs] omitted = one
+    worker per core). Removed next PR. *)

@@ -1,0 +1,37 @@
+type budget = {
+  max_execs : int option;
+  max_seconds : float option;
+  stop_after_findings : int option;
+  max_workloads : int option;
+}
+
+let unlimited =
+  { max_execs = None; max_seconds = None; stop_after_findings = None; max_workloads = None }
+
+let budget ?max_execs ?max_seconds ?stop_after_findings ?max_workloads () =
+  { max_execs; max_seconds; stop_after_findings; max_workloads }
+
+type exec = {
+  opts : Harness.opts;
+  minimize : (Report.t -> Report.t) option;
+  keep_sizes : bool;
+  jobs : int;
+}
+
+let default_exec = { opts = Harness.default_opts; minimize = None; keep_sizes = true; jobs = 1 }
+
+let exec ?(opts = Harness.default_opts) ?minimize ?(keep_sizes = true) ?(jobs = 1) () =
+  { opts; minimize; keep_sizes; jobs }
+
+let effective_jobs e = if e.jobs <= 0 then Pool.default_jobs () else min e.jobs 64
+
+let hit cap counter = match cap with None -> false | Some c -> counter >= c
+
+let out_of_budget b ~execs ~seconds ~findings ~workloads =
+  hit b.max_execs execs
+  || (match b.max_seconds with None -> false | Some s -> seconds >= s)
+  || hit b.stop_after_findings findings
+  || hit b.max_workloads workloads
+
+let workload ?(exec = default_exec) driver calls =
+  Harness.test_workload ~opts:exec.opts ?minimize:exec.minimize driver calls

@@ -1,21 +1,25 @@
+module Run = Chipmunk.Run
+
+let epoch_len = 32
+
 type config = {
   rng_seed : int;
-  max_execs : int;
-  max_seconds : float;
   max_len : int;
-  harness_opts : Chipmunk.Harness.opts;
-  stop_after_findings : int option;
+  budget : Run.budget;
+  exec : Run.exec;
 }
 
 let default_config =
   {
     rng_seed = 1;
-    max_execs = 2000;
-    max_seconds = 60.0;
     max_len = 14;
-    harness_opts = { Chipmunk.Harness.default_opts with cap = Some 2 };
-    stop_after_findings = None;
+    budget = Run.budget ~max_execs:2000 ~max_seconds:60.0 ();
+    exec = Run.exec ~opts:{ Chipmunk.Harness.default_opts with cap = Some 2 } ();
   }
+
+let config ?(rng_seed = default_config.rng_seed) ?(max_len = default_config.max_len)
+    ?(budget = default_config.budget) ?(exec = default_config.exec) () =
+  { rng_seed; max_len; budget; exec }
 
 type event = {
   fingerprint : string;
@@ -35,68 +39,123 @@ type result = {
   elapsed : float;
 }
 
-exception Stop
+(* What one execution slot sends back to the merge: everything the
+   deterministic accumulator needs, nothing shared while running. *)
+type slot_out = {
+  s_workload : Vfs.Syscall.t list;
+  s_hits : string list;  (* this execution's coverage points *)
+  s_reports : Chipmunk.Report.t list;
+  s_states : int;
+  s_done_at : float;  (* wall-clock completion, seconds since t0 *)
+}
 
-let run ?(config = default_config) driver =
-  let rng = Random.State.make [| config.rng_seed |] in
+let run ?(config = default_config) ?jobs driver =
+  let jobs = Run.effective_jobs { config.exec with jobs = Option.value jobs ~default:config.exec.Run.jobs } in
+  let budget = config.budget in
   let t0 = Unix.gettimeofday () in
   Cov.enable ();
   Cov.reset ();
-  let corpus = ref [] in
-  let corpus_n = ref 0 in
-  let seen : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  (* Corpus as an array so epoch snapshots are O(1) to capture and index;
+     it only ever grows, at epoch boundaries, in execution order. *)
+  let corpus = ref [||] in
+  let seen_cov : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let seen_fp : (string, unit) Hashtbl.t = Hashtbl.create 32 in
   let events = ref [] in
   let all_reports = ref [] in
   let execs = ref 0 in
   let states = ref 0 in
-  let next_workload () =
-    (* As in Syzkaller: usually mutate a seed, sometimes generate fresh. *)
-    if !corpus = [] || Random.State.int rng 4 = 0 then Prog.generate rng ~max_len:config.max_len
-    else
-      let seed = List.nth !corpus (Random.State.int rng !corpus_n) in
-      Prog.mutate rng seed
+  let stopped = ref false in
+  let epoch = ref 0 in
+  let elapsed () = Unix.gettimeofday () -. t0 in
+  let out () =
+    Run.out_of_budget budget ~execs:!execs ~seconds:(elapsed ())
+      ~findings:(Hashtbl.length seen_fp) ~workloads:0
   in
-  (try
-     while
-       !execs < config.max_execs && Unix.gettimeofday () -. t0 < config.max_seconds
-     do
-       let workload = next_workload () in
-       let cov_before = Cov.count () in
-       let r = Chipmunk.Harness.test_workload ~opts:config.harness_opts driver workload in
-       incr execs;
-       states := !states + r.Chipmunk.Harness.stats.Chipmunk.Harness.crash_states;
-       if Cov.count () > cov_before then begin
-         corpus := workload :: !corpus;
-         incr corpus_n
-       end;
-       List.iter
-         (fun report ->
-           all_reports := report :: !all_reports;
-           let fp = Chipmunk.Report.fingerprint report in
-           if not (Hashtbl.mem seen fp) then begin
-             Hashtbl.replace seen fp ();
-             events :=
-               {
-                 fingerprint = fp;
-                 report;
-                 at_exec = !execs;
-                 elapsed = Unix.gettimeofday () -. t0;
-                 workload;
-               }
-               :: !events;
-             match config.stop_after_findings with
-             | Some n when Hashtbl.length seen >= n -> raise Stop
-             | _ -> ()
-           end)
-         r.Chipmunk.Harness.reports
-     done
-   with Stop -> ());
+  while (not !stopped) && not (out ()) do
+    let n_slots =
+      match budget.Run.max_execs with
+      | None -> epoch_len
+      | Some m -> min epoch_len (m - !execs)
+    in
+    let snapshot = !corpus in
+    let e = !epoch in
+    (* One slot = one execution. The RNG stream is a pure function of
+       (seed, epoch, slot) and the corpus snapshot is fixed for the epoch,
+       so the slot's workload — and, the harness being deterministic per
+       workload on a fresh image, its whole outcome — does not depend on
+       which domain runs it or on how many there are. *)
+    let slot s =
+      let rng = Random.State.make [| config.rng_seed; e; s |] in
+      let workload =
+        (* As in Syzkaller: usually mutate a seed, sometimes generate fresh. *)
+        if Array.length snapshot = 0 || Random.State.int rng 4 = 0 then
+          Prog.generate rng ~max_len:config.max_len
+        else Prog.mutate rng snapshot.(Random.State.int rng (Array.length snapshot))
+      in
+      Cov.local_reset ();
+      let r = Chipmunk.Harness.test_workload ~opts:config.exec.Run.opts driver workload in
+      {
+        s_workload = workload;
+        s_hits = Cov.local_hits ();
+        s_reports = r.Chipmunk.Harness.reports;
+        s_states = r.Chipmunk.Harness.stats.Chipmunk.Harness.crash_states;
+        s_done_at = elapsed ();
+      }
+    in
+    let time_up () =
+      match budget.Run.max_seconds with None -> false | Some s -> elapsed () >= s
+    in
+    let completed = Chipmunk.Pool.map ~jobs ~stop:time_up slot (Seq.init n_slots Fun.id) in
+    if List.length completed < n_slots then stopped := true;
+    (* Epoch barrier: merge in slot order (Pool.map returns index-sorted
+       results), so corpus admission, fingerprint dedup and at_exec
+       attribution are identical at every job count. *)
+    let fresh_seeds = ref [] in
+    List.iter
+      (fun (_, _, o) ->
+        incr execs;
+        states := !states + o.s_states;
+        let novel = List.exists (fun p -> not (Hashtbl.mem seen_cov p)) o.s_hits in
+        List.iter (fun p -> Hashtbl.replace seen_cov p ()) o.s_hits;
+        if novel then fresh_seeds := o.s_workload :: !fresh_seeds;
+        List.iter
+          (fun report ->
+            all_reports := report :: !all_reports;
+            let fp = Chipmunk.Report.fingerprint report in
+            if not (Hashtbl.mem seen_fp fp) then begin
+              Hashtbl.replace seen_fp fp ();
+              let report =
+                match config.exec.Run.minimize with None -> report | Some f -> f report
+              in
+              events :=
+                {
+                  fingerprint = fp;
+                  report;
+                  at_exec = !execs;
+                  elapsed = o.s_done_at;
+                  workload = o.s_workload;
+                }
+                :: !events
+            end)
+          o.s_reports)
+      completed;
+    corpus := Array.append !corpus (Array.of_list (List.rev !fresh_seeds));
+    incr epoch
+  done;
+  let events = List.rev !events in
+  (* Executions past the n-th finding may have run within the same epoch;
+     truncate so the findings cap is exact at every job count. *)
+  let events =
+    match budget.Run.stop_after_findings with
+    | Some n when List.length events > n -> List.filteri (fun i _ -> i < n) events
+    | _ -> events
+  in
   {
     execs = !execs;
     crash_states = !states;
-    coverage = Cov.count ();
-    corpus_size = !corpus_n;
-    events = List.rev !events;
+    coverage = Hashtbl.length seen_cov;
+    corpus_size = Array.length !corpus;
+    events;
     clusters = Triage.cluster (List.rev !all_reports);
-    elapsed = Unix.gettimeofday () -. t0;
+    elapsed = elapsed ();
   }

@@ -157,7 +157,9 @@ let test_campaign_stop_after_findings () =
   let bugs = { Novafs.Bugs.none with bug4_inplace_dentry_invalidate = true } in
   let driver = Novafs.driver ~config:(Novafs.config ~bugs ()) () in
   let r =
-    Chipmunk.Campaign.run ~stop_after_findings:1 driver (Ace.seq2 Ace.Strong)
+    Chipmunk.Campaign.run
+      ~budget:(Chipmunk.Run.budget ~stop_after_findings:1 ())
+      driver (Ace.seq2 Ace.Strong)
   in
   Alcotest.(check int) "stopped at first" 1 (List.length r.Chipmunk.Campaign.events);
   Alcotest.(check bool) "did not run the whole suite" true
@@ -165,7 +167,9 @@ let test_campaign_stop_after_findings () =
 
 let test_campaign_max_workloads () =
   let r =
-    Chipmunk.Campaign.run ~max_workloads:10 (Novafs.driver ()) (Ace.seq2 Ace.Strong)
+    Chipmunk.Campaign.run
+      ~budget:(Chipmunk.Run.budget ~max_workloads:10 ())
+      (Novafs.driver ()) (Ace.seq2 Ace.Strong)
   in
   Alcotest.(check int) "bounded" 10 r.Chipmunk.Campaign.workloads_run;
   Alcotest.(check (list Alcotest.reject)) "clean" [] (List.map (fun _ -> ()) r.Chipmunk.Campaign.events)
@@ -173,7 +177,11 @@ let test_campaign_max_workloads () =
 let test_campaign_dedups_across_workloads () =
   let bugs = { Novafs.Bugs.none with bug2_unflushed_log_init = true } in
   let driver = Novafs.driver ~config:(Novafs.config ~bugs ()) () in
-  let r = Chipmunk.Campaign.run ~max_workloads:30 driver (Ace.seq1 Ace.Strong) in
+  let r =
+    Chipmunk.Campaign.run
+      ~budget:(Chipmunk.Run.budget ~max_workloads:30 ())
+      driver (Ace.seq1 Ace.Strong)
+  in
   let fps = List.map (fun e -> e.Chipmunk.Campaign.fingerprint) r.Chipmunk.Campaign.events in
   Alcotest.(check int) "fingerprints unique" (List.length fps)
     (List.length (List.sort_uniq compare fps))

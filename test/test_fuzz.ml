@@ -75,13 +75,10 @@ let test_fuzzer_finds_injected_bug () =
   let bugs = { Novafs.Bugs.none with bug4_inplace_dentry_invalidate = true } in
   let driver = Novafs.driver ~config:(Novafs.config ~bugs ()) () in
   let config =
-    {
-      Fuzz.Fuzzer.default_config with
-      Fuzz.Fuzzer.rng_seed = 11;
-      max_execs = 2000;
-      max_seconds = 30.0;
-      stop_after_findings = Some 1;
-    }
+    Fuzz.Fuzzer.config ~rng_seed:11
+      ~budget:
+        (Chipmunk.Run.budget ~max_execs:2000 ~max_seconds:30.0 ~stop_after_findings:1 ())
+      ()
   in
   let r = Fuzz.Fuzzer.run ~config driver in
   Alcotest.(check bool) "found" true (r.Fuzz.Fuzzer.events <> []);
@@ -89,12 +86,9 @@ let test_fuzzer_finds_injected_bug () =
 
 let test_fuzzer_clean_is_silent () =
   let config =
-    {
-      Fuzz.Fuzzer.default_config with
-      Fuzz.Fuzzer.rng_seed = 12;
-      max_execs = 150;
-      max_seconds = 20.0;
-    }
+    Fuzz.Fuzzer.config ~rng_seed:12
+      ~budget:(Chipmunk.Run.budget ~max_execs:150 ~max_seconds:20.0 ())
+      ()
   in
   let r = Fuzz.Fuzzer.run ~config (Novafs.driver ()) in
   (match r.Fuzz.Fuzzer.events with
@@ -108,7 +102,9 @@ let test_fuzzer_clean_is_silent () =
 let test_fuzzer_deterministic_given_seed () =
   let run () =
     let config =
-      { Fuzz.Fuzzer.default_config with Fuzz.Fuzzer.rng_seed = 5; max_execs = 60 }
+      Fuzz.Fuzzer.config ~rng_seed:5
+        ~budget:(Chipmunk.Run.budget ~max_execs:60 ~max_seconds:60.0 ())
+        ()
     in
     let r = Fuzz.Fuzzer.run ~config (Novafs.driver ()) in
     (r.Fuzz.Fuzzer.execs, r.Fuzz.Fuzzer.crash_states)

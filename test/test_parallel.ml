@@ -79,7 +79,9 @@ let event_key (e : Campaign.event) = (e.fingerprint, e.workload_index, e.workloa
 let test_parallel_matches_sequential () =
   let driver = nova_buggy () in
   let seq_r = Campaign.run driver (catalog_suite ()) in
-  let par_r = Campaign.run_parallel ~jobs:4 driver (catalog_suite ()) in
+  let par_r =
+    Campaign.run ~exec:(Chipmunk.Run.exec ~jobs:4 ()) driver (catalog_suite ())
+  in
   Alcotest.(check bool) "found something" true (seq_r.Campaign.events <> []);
   Alcotest.(check (list (triple string int string)))
     "same fingerprints, workload indices and names, in discovery order"
@@ -96,8 +98,8 @@ let test_parallel_matches_sequential () =
 let test_parallel_repeatable () =
   (* Two parallel runs with different job counts agree with each other. *)
   let driver = nova_buggy () in
-  let r2 = Campaign.run_parallel ~jobs:2 driver (catalog_suite ()) in
-  let r4 = Campaign.run_parallel ~jobs:4 driver (catalog_suite ()) in
+  let r2 = Campaign.run ~exec:(Chipmunk.Run.exec ~jobs:2 ()) driver (catalog_suite ()) in
+  let r4 = Campaign.run ~exec:(Chipmunk.Run.exec ~jobs:4 ()) driver (catalog_suite ()) in
   Alcotest.(check (list (triple string int string)))
     "jobs=2 and jobs=4 agree"
     (List.map event_key r2.Campaign.events)
@@ -107,7 +109,9 @@ let test_keep_sizes () =
   let driver = nova_buggy () in
   let suite () = Seq.take 3 (catalog_suite ()) in
   let with_sizes = Campaign.run driver (suite ()) in
-  let without = Campaign.run ~keep_sizes:false driver (suite ()) in
+  let without =
+    Campaign.run ~exec:(Chipmunk.Run.exec ~keep_sizes:false ()) driver (suite ())
+  in
   Alcotest.(check bool) "sizes retained by default" true (with_sizes.Campaign.in_flight_sizes <> []);
   Alcotest.(check int)
     "one sample per crash point"

@@ -194,7 +194,9 @@ let test_campaign_minimize () =
   let plain = Chipmunk.Campaign.run (mk_driver ()) (suite ()) in
   let driver = mk_driver () in
   let minimized =
-    Chipmunk.Campaign.run ~minimize:(Shrink.Minimize.rewrite driver) driver (suite ())
+    Chipmunk.Campaign.run
+      ~exec:(Chipmunk.Run.exec ~minimize:(Shrink.Minimize.rewrite driver) ())
+      driver (suite ())
   in
   Alcotest.(check bool) "found something" true (plain.Chipmunk.Campaign.events <> []);
   Alcotest.(check (list string))
