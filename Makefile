@@ -1,9 +1,9 @@
 # Convenience targets; the source of truth is dune.
 
 .PHONY: ci build test bench-perf bench-fuzz bench-shrink shrink-smoke \
-  fuzz-parallel-smoke clean
+  fuzz-parallel-smoke cache-smoke clean
 
-ci: build test shrink-smoke fuzz-parallel-smoke
+ci: build test shrink-smoke fuzz-parallel-smoke cache-smoke
 
 build:
 	dune build @all
@@ -29,6 +29,22 @@ fuzz-parallel-smoke:
 	  --seed 7 --jobs 2 | grep '^finding' > _build/fuzz-smoke-j2.txt
 	test -s _build/fuzz-smoke-j1.txt
 	diff -u _build/fuzz-smoke-j1.txt _build/fuzz-smoke-j2.txt
+
+# Cache-transparency smoke test: the dedup cache and the verdict cache
+# must not change what a campaign finds, only how fast it finds it. Run
+# the buggy-NOVA ACE suite with caches at their defaults, with dedup off
+# and with the verdict cache off; the per-finding fingerprint lines must
+# match exactly (only the hit-rate footer may differ).
+cache-smoke:
+	dune exec bin/chipmunk_cli.exe -- ace --fs nova --buggy --suite seq1 \
+	  | grep '^fingerprint' > _build/cache-smoke-default.txt
+	dune exec bin/chipmunk_cli.exe -- ace --fs nova --buggy --suite seq1 \
+	  --no-dedup | grep '^fingerprint' > _build/cache-smoke-nodedup.txt
+	dune exec bin/chipmunk_cli.exe -- ace --fs nova --buggy --suite seq1 \
+	  --no-vcache | grep '^fingerprint' > _build/cache-smoke-novcache.txt
+	test -s _build/cache-smoke-default.txt
+	diff -u _build/cache-smoke-nodedup.txt _build/cache-smoke-default.txt
+	diff -u _build/cache-smoke-novcache.txt _build/cache-smoke-default.txt
 
 # Rewrite BENCH_parallel.json (sequential vs parallel wall-clock, dedup
 # hit-rate, states/sec) so the perf trajectory is tracked across PRs.

@@ -477,11 +477,20 @@ let parallel_perf () =
     let r = f () in
     (r, Unix.gettimeofday () -. t0)
   in
+  (* Four configs, each isolating one cache layer: no caches at all, the
+     per-point dedup alone, dedup + campaign-wide verdict cache (the
+     default), and the full config sharded over domains. *)
   let no_dedup = { Chipmunk.Harness.default_opts with dedup_states = false } in
-  let seq_nd, t_seq_nd =
+  let seq_nc, t_seq_nc =
     time (fun () ->
         Chipmunk.Campaign.run
-          ~exec:(Chipmunk.Run.exec ~opts:no_dedup ~keep_sizes:false ())
+          ~exec:(Chipmunk.Run.exec ~opts:no_dedup ~keep_sizes:false ~use_vcache:false ())
+          (mk_driver ()) (suite ()))
+  in
+  let seq_d, t_seq_d =
+    time (fun () ->
+        Chipmunk.Campaign.run
+          ~exec:(Chipmunk.Run.exec ~keep_sizes:false ~use_vcache:false ())
           (mk_driver ()) (suite ()))
   in
   let seq, t_seq =
@@ -499,26 +508,37 @@ let parallel_perf () =
   let fps (r : Chipmunk.Campaign.result) =
     List.map (fun e -> e.Chipmunk.Campaign.fingerprint) r.Chipmunk.Campaign.events
   in
-  let findings_equal = fps seq = fps par && fps seq = fps seq_nd in
+  let findings_equal =
+    fps seq = fps par && fps seq = fps seq_nc && fps seq = fps seq_d
+  in
   let checked (r : Chipmunk.Campaign.result) =
     r.Chipmunk.Campaign.crash_states - r.Chipmunk.Campaign.dedup_hits
+    - r.Chipmunk.Campaign.vcache_hits
   in
   let rate r t = float_of_int (checked r) /. t in
   let hit_rate =
-    float_of_int seq.Chipmunk.Campaign.dedup_hits
+    float_of_int seq_d.Chipmunk.Campaign.dedup_hits
+    /. float_of_int (max 1 seq_d.Chipmunk.Campaign.crash_states)
+  in
+  let vcache_hit_rate =
+    float_of_int seq.Chipmunk.Campaign.vcache_hits
     /. float_of_int (max 1 seq.Chipmunk.Campaign.crash_states)
   in
   let row label (r : Chipmunk.Campaign.result) t =
-    Printf.printf "%-24s %8.2fs %10d states %8d skipped %10.0f checked/s %4d findings\n"
-      label t r.Chipmunk.Campaign.crash_states r.Chipmunk.Campaign.dedup_hits (rate r t)
+    Printf.printf "%-24s %8.2fs %10d states %8d dedup %8d vcache %10.0f checked/s %4d findings\n"
+      label t r.Chipmunk.Campaign.crash_states r.Chipmunk.Campaign.dedup_hits
+      r.Chipmunk.Campaign.vcache_hits (rate r t)
       (List.length r.Chipmunk.Campaign.events)
   in
-  row "sequential, no dedup" seq_nd t_seq_nd;
-  row "sequential" seq t_seq;
+  row "sequential, no caches" seq_nc t_seq_nc;
+  row "sequential, dedup only" seq_d t_seq_d;
+  row "sequential (full)" seq t_seq;
   row (Printf.sprintf "parallel (jobs=%d)" jobs) par t_par;
   Printf.printf
-    "dedup hit-rate %.1f%%, dedup speedup %.2fx, parallel speedup %.2fx, findings %s\n"
-    (100.0 *. hit_rate) (t_seq_nd /. t_seq) (t_seq /. t_par)
+    "dedup hit-rate %.1f%% (speedup %.2fx), vcache hit-rate %.1f%% (speedup %.2fx), \
+     parallel speedup %.2fx, findings %s\n"
+    (100.0 *. hit_rate) (t_seq_nc /. t_seq_d) (100.0 *. vcache_hit_rate) (t_seq_d /. t_seq)
+    (t_seq /. t_par)
     (if findings_equal then "identical" else "DIFFER");
   let obj fields =
     "{" ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%S:%s" k v) fields) ^ "}"
@@ -531,6 +551,7 @@ let parallel_perf () =
         ("crash_points", string_of_int r.Chipmunk.Campaign.crash_points);
         ("crash_states", string_of_int r.Chipmunk.Campaign.crash_states);
         ("dedup_hits", string_of_int r.Chipmunk.Campaign.dedup_hits);
+        ("vcache_hits", string_of_int r.Chipmunk.Campaign.vcache_hits);
         ("checked_states_per_sec", Printf.sprintf "%.1f" (rate r t));
         ("findings", string_of_int (List.length r.Chipmunk.Campaign.events));
       ]
@@ -538,15 +559,18 @@ let parallel_perf () =
   let json =
     obj
       [
-        ("schema", "\"chipmunk-bench-parallel/1\"");
+        ("schema", "\"chipmunk-bench-parallel/2\"");
         ("suite", "\"nova-buggy seq1 + seq2[:600]\"");
         ("jobs", string_of_int jobs);
         ("recommended_domains", string_of_int (Domain.recommended_domain_count ()));
-        ("sequential_no_dedup", run_obj seq_nd t_seq_nd);
+        ("sequential_no_dedup", run_obj seq_nc t_seq_nc);
+        ("sequential_dedup_only", run_obj seq_d t_seq_d);
         ("sequential", run_obj seq t_seq);
         ("parallel", run_obj par t_par);
         ("dedup_hit_rate", Printf.sprintf "%.4f" hit_rate);
-        ("dedup_speedup", Printf.sprintf "%.3f" (t_seq_nd /. t_seq));
+        ("dedup_speedup", Printf.sprintf "%.3f" (t_seq_nc /. t_seq_d));
+        ("vcache_hit_rate", Printf.sprintf "%.4f" vcache_hit_rate);
+        ("vcache_speedup", Printf.sprintf "%.3f" (t_seq_d /. t_seq));
         ("parallel_speedup", Printf.sprintf "%.3f" (t_seq /. t_par));
         ("findings_equal", string_of_bool findings_equal);
         ( "findings",
@@ -723,6 +747,9 @@ let shrink_bench () =
   in
   let all_preserved = List.for_all (fun (_, _, p, _) -> p) ok_rows in
   let all_reverify = List.for_all (fun (_, _, _, r) -> r) ok_rows in
+  let total stat = List.fold_left (fun a (_, s, _, _) -> a + stat s) 0 ok_rows in
+  let recordings = total (fun s -> s.Shrink.Minimize.harness_runs) in
+  let replay_hits = total (fun s -> s.Shrink.Minimize.replay_probe_hits) in
   let m_before = median ops_before and m_after = median ops_after in
   Printf.printf
     "\n%d/%d minimized; workload strictly shorter for %d; median ops %.1f -> %.1f \
@@ -730,6 +757,10 @@ let shrink_bench () =
     (List.length ok_rows) (List.length Catalog.all) reduced m_before m_after
     (m_before /. Float.max 1.0 m_after)
     all_preserved all_reverify;
+  Printf.printf
+    "workload-ddmin probes: %d recordings, %d served by the trace-replay cache (%.1f%%)\n"
+    recordings replay_hits
+    (100.0 *. float_of_int replay_hits /. float_of_int (max 1 (recordings + replay_hits)));
   let module J = Chipmunk.Json in
   let bug_obj ((b : Catalog.t), (s : Shrink.Minimize.stats), preserved, reverifies) =
     J.obj
@@ -742,6 +773,7 @@ let shrink_bench () =
         ("subset_after", string_of_int s.Shrink.Minimize.subset_after);
         ("harness_runs", string_of_int s.Shrink.Minimize.harness_runs);
         ("check_runs", string_of_int s.Shrink.Minimize.check_runs);
+        ("replay_probe_hits", string_of_int s.Shrink.Minimize.replay_probe_hits);
         ("fingerprint_preserved", string_of_bool preserved);
         ("reverifies", string_of_bool reverifies);
       ]
@@ -758,6 +790,8 @@ let shrink_bench () =
         ("median_ops_after", Printf.sprintf "%.1f" m_after);
         ("fingerprints_preserved", string_of_bool all_preserved);
         ("reproducers_reverify", string_of_bool all_reverify);
+        ("total_recordings", string_of_int recordings);
+        ("total_replay_probe_hits", string_of_int replay_hits);
         ("bugs", J.arr (List.map bug_obj ok_rows));
       ]
   in

@@ -9,9 +9,9 @@
      chipmunk-cli reproduce bug.repro.json    rebuild and re-verify a reproducer
 
    The campaign-style subcommands (ace, fuzz, replay) parse one shared
-   execution/budget flag table — --cap, --no-dedup, --jobs, --max-seconds,
-   --stop-after, --minimize — into the Chipmunk.Run records instead of
-   keeping per-subcommand copies. *)
+   execution/budget flag table — --cap, --no-dedup, --no-vcache, --jobs,
+   --max-seconds, --stop-after, --minimize — into the Chipmunk.Run records
+   instead of keeping per-subcommand copies. *)
 
 open Cmdliner
 
@@ -40,6 +40,7 @@ let buggy_arg =
 type common = {
   cap : int;  (* 0 = subcommand default *)
   no_dedup : bool;
+  no_vcache : bool;
   jobs : int;
   max_seconds : float option;
   stop_after : int option;
@@ -56,6 +57,14 @@ let cap_arg =
 let no_dedup_arg =
   let doc = "Disable the crash-state dedup cache (mount and check every enumerated state)." in
   Arg.(value & flag & info [ "no-dedup" ] ~doc)
+
+let no_vcache_arg =
+  let doc =
+    "Disable the campaign-wide verdict cache (re-run mount+check even for crash states \
+     equivalent to ones already checked in other workloads). Findings are identical either \
+     way."
+  in
+  Arg.(value & flag & info [ "no-vcache" ] ~doc)
 
 let jobs_arg =
   let doc =
@@ -77,12 +86,19 @@ let minimize_flag =
   Arg.(value & flag & info [ "minimize" ] ~doc)
 
 let common_term =
-  let mk cap no_dedup jobs max_seconds stop_after minimize =
-    { cap; no_dedup; jobs; max_seconds; stop_after; minimize }
+  let mk cap no_dedup no_vcache jobs max_seconds stop_after minimize =
+    { cap; no_dedup; no_vcache; jobs; max_seconds; stop_after; minimize }
   in
   Term.(
-    const mk $ cap_arg $ no_dedup_arg $ jobs_arg $ max_seconds_arg $ stop_after_arg
-    $ minimize_flag)
+    const mk $ cap_arg $ no_dedup_arg $ no_vcache_arg $ jobs_arg $ max_seconds_arg
+    $ stop_after_arg $ minimize_flag)
+
+(* The shared "cache:" stats footer line: hit counts and rates over the
+   enumerated crash states. *)
+let cache_line ~crash_states ~dedup_hits ~vcache_hits =
+  let rate n = if crash_states = 0 then 0.0 else 100.0 *. float_of_int n /. float_of_int crash_states in
+  Printf.printf "cache: dedup %d hits (%.1f%%), vcache %d hits (%.1f%%)\n" dedup_hits
+    (rate dedup_hits) vcache_hits (rate vcache_hits)
 
 (* Harness opts from the shared flags; [default_cap] is the subcommand's
    cap when --cap is 0 (None = exhaustive). *)
@@ -149,18 +165,22 @@ let ace_cmd =
         let minimize =
           if c.minimize then Some (Shrink.Minimize.rewrite ~opts driver) else None
         in
-        let exec = Chipmunk.Run.exec ~opts ?minimize ~jobs:c.jobs () in
+        let exec =
+          Chipmunk.Run.exec ~opts ?minimize ~jobs:c.jobs ~use_vcache:(not c.no_vcache) ()
+        in
         let budget =
           Chipmunk.Run.budget ?max_seconds:c.max_seconds ?stop_after_findings:c.stop_after
             ?max_workloads ()
         in
         let r = Chipmunk.Campaign.run ~exec ~budget driver workloads in
         Printf.printf
-          "%s/%s: %d workloads, %d crash points, %d crash states (%d dedup-skipped), \
-           %.2fs, max in-flight %d\n"
+          "%s/%s: %d workloads, %d crash points, %d crash states, %.2fs, max in-flight %d\n"
           fs suite r.Chipmunk.Campaign.workloads_run r.Chipmunk.Campaign.crash_points
-          r.Chipmunk.Campaign.crash_states r.Chipmunk.Campaign.dedup_hits
-          r.Chipmunk.Campaign.elapsed r.Chipmunk.Campaign.max_in_flight;
+          r.Chipmunk.Campaign.crash_states r.Chipmunk.Campaign.elapsed
+          r.Chipmunk.Campaign.max_in_flight;
+        cache_line ~crash_states:r.Chipmunk.Campaign.crash_states
+          ~dedup_hits:r.Chipmunk.Campaign.dedup_hits
+          ~vcache_hits:r.Chipmunk.Campaign.vcache_hits;
         if r.Chipmunk.Campaign.events = [] then print_endline "no bugs found"
         else begin
           Printf.printf "%d unique finding(s):\n" (List.length r.Chipmunk.Campaign.events);
@@ -200,7 +220,7 @@ let fuzz_cmd =
     | Ok driver ->
       (* The paper runs the fuzzer with a replayed-writes cap of 2. *)
       let opts = opts_of_common ~default_cap:2 c in
-      let exec = Chipmunk.Run.exec ~opts ~jobs:c.jobs () in
+      let exec = Chipmunk.Run.exec ~opts ~jobs:c.jobs ~use_vcache:(not c.no_vcache) () in
       let budget =
         Chipmunk.Run.budget ~max_execs:execs
           ~max_seconds:(Option.value c.max_seconds ~default:30.0)
@@ -212,6 +232,8 @@ let fuzz_cmd =
         "%s: %d execs, %d crash states, coverage %d, corpus %d, %.2fs (jobs=%d)\n" fs
         r.Fuzz.Fuzzer.execs r.Fuzz.Fuzzer.crash_states r.Fuzz.Fuzzer.coverage
         r.Fuzz.Fuzzer.corpus_size r.Fuzz.Fuzzer.elapsed c.jobs;
+      cache_line ~crash_states:r.Fuzz.Fuzzer.crash_states
+        ~dedup_hits:r.Fuzz.Fuzzer.dedup_hits ~vcache_hits:r.Fuzz.Fuzzer.vcache_hits;
       Printf.printf "%d unique finding(s) in %d cluster(s)\n"
         (List.length r.Fuzz.Fuzzer.events)
         (List.length r.Fuzz.Fuzzer.clusters);
@@ -281,10 +303,15 @@ let replay_cmd =
         Printf.eprintf "cannot load %s: %s\n" file e;
         1
       | Ok workload ->
-        let exec = Chipmunk.Run.exec ~opts:(opts_of_common c) () in
+        let exec =
+          Chipmunk.Run.exec ~opts:(opts_of_common c) ~use_vcache:(not c.no_vcache) ()
+        in
         let r = Chipmunk.Run.workload ~exec driver workload in
         Printf.printf "%s: %d crash states checked\n" fs
           r.Chipmunk.Harness.stats.Chipmunk.Harness.crash_states;
+        cache_line ~crash_states:r.Chipmunk.Harness.stats.Chipmunk.Harness.crash_states
+          ~dedup_hits:r.Chipmunk.Harness.stats.Chipmunk.Harness.dedup_hits
+          ~vcache_hits:r.Chipmunk.Harness.stats.Chipmunk.Harness.vcache_hits;
         (match r.Chipmunk.Harness.reports with
         | [] ->
           print_endline "crash consistent";
@@ -403,10 +430,12 @@ let minimize_cmd =
       | Ok o ->
         let s = o.Shrink.Minimize.stats in
         Printf.printf
-          "workload: %d -> %d ops; replayed writes: %d -> %d (%d harness runs, %d rebuilds)\n"
+          "workload: %d -> %d ops; replayed writes: %d -> %d (%d recordings, %d \
+           replay-cache hits, %d rebuilds)\n"
           s.Shrink.Minimize.ops_before s.Shrink.Minimize.ops_after
           s.Shrink.Minimize.subset_before s.Shrink.Minimize.subset_after
-          s.Shrink.Minimize.harness_runs s.Shrink.Minimize.check_runs;
+          s.Shrink.Minimize.harness_runs s.Shrink.Minimize.replay_probe_hits
+          s.Shrink.Minimize.check_runs;
         let fp_preserved =
           Chipmunk.Report.fingerprint o.Shrink.Minimize.report
           = Chipmunk.Report.fingerprint report

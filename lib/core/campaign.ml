@@ -13,6 +13,7 @@ type result = {
   crash_states : int;
   crash_points : int;
   dedup_hits : int;
+  vcache_hits : int;
   elapsed : float;
   in_flight_sizes : int list;
   max_in_flight : int;
@@ -29,6 +30,7 @@ type acc = {
   mutable states : int;
   mutable points : int;
   mutable dedups : int;
+  mutable vhits : int;
   mutable sizes : int list;
   mutable max_if : int;
   keep_sizes : bool;
@@ -42,6 +44,7 @@ let acc_create ~keep_sizes =
     states = 0;
     points = 0;
     dedups = 0;
+    vhits = 0;
     sizes = [];
     max_if = 0;
     keep_sizes;
@@ -55,6 +58,7 @@ let acc_add acc ~name ~index ~elapsed ~minimize (r : Harness.result) =
   acc.states <- acc.states + r.Harness.stats.Harness.crash_states;
   acc.points <- acc.points + r.Harness.stats.Harness.crash_points;
   acc.dedups <- acc.dedups + r.Harness.stats.Harness.dedup_hits;
+  acc.vhits <- acc.vhits + r.Harness.stats.Harness.vcache_hits;
   if acc.keep_sizes then
     acc.sizes <- List.rev_append r.Harness.stats.Harness.in_flight_sizes acc.sizes;
   acc.max_if <- max acc.max_if r.Harness.stats.Harness.max_in_flight;
@@ -84,6 +88,7 @@ let acc_result acc ~elapsed =
     crash_states = acc.states;
     crash_points = acc.points;
     dedup_hits = acc.dedups;
+    vcache_hits = acc.vhits;
     elapsed;
     in_flight_sizes = acc.sizes;
     max_in_flight = acc.max_if;
@@ -123,8 +128,13 @@ let run ?(exec = Run.default_exec) ?(budget = Run.unlimited) driver suite =
         end)
       r.Harness.reports
   in
+  (* One verdict cache for the whole campaign (when enabled): the harness
+     syncs it at workload boundaries, so worker domains share verdicts via
+     the PR 3 snapshot/merge pattern. Never reused across campaigns — the
+     entries are only valid for this [driver] instance. *)
+  let vcache = if exec.Run.use_vcache then Some (Vcache.create ()) else None in
   let work (_name, workload) =
-    let r = Harness.test_workload ~opts:exec.Run.opts driver workload in
+    let r = Harness.test_workload ~opts:exec.Run.opts ?vcache driver workload in
     (r, Unix.gettimeofday () -. t0)
   in
   let completed =
@@ -146,20 +156,3 @@ let run ?(exec = Run.default_exec) ?(budget = Run.unlimited) driver suite =
   match budget.Run.stop_after_findings with
   | Some n when List.length result.events > n -> { result with events = take n result.events }
   | _ -> result
-
-(* --- Deprecated pre-Run wrappers (one PR of grace for out-of-tree
-   callers; everything in-tree is on the record API). --- *)
-
-let run_seq ?opts ?minimize ?stop_after_findings ?max_workloads ?max_seconds
-    ?(keep_sizes = true) driver suite =
-  run
-    ~exec:(Run.exec ?opts ?minimize ~keep_sizes ~jobs:1 ())
-    ~budget:(Run.budget ?max_seconds ?stop_after_findings ?max_workloads ())
-    driver suite
-
-let run_parallel ?opts ?minimize ?stop_after_findings ?max_workloads ?max_seconds
-    ?(keep_sizes = true) ?jobs driver suite =
-  run
-    ~exec:(Run.exec ?opts ?minimize ~keep_sizes ~jobs:(Option.value jobs ~default:0) ())
-    ~budget:(Run.budget ?max_seconds ?stop_after_findings ?max_workloads ())
-    driver suite

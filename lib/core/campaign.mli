@@ -29,6 +29,11 @@ type result = {
   dedup_hits : int;
       (** Crash states skipped by the harness dedup cache (see
           {!Harness.stats.dedup_hits}), summed over the campaign. *)
+  vcache_hits : int;
+      (** Crash states whose verdict came from the campaign-wide {!Vcache}
+          (summed {!Harness.stats.vcache_hits}); [0] when the campaign ran
+          with [exec.use_vcache = false]. Hit counts vary with scheduling
+          at [jobs > 1]; findings do not. *)
   elapsed : float;
   in_flight_sizes : int list;
       (** One sample per crash point, unordered; empty when the campaign
@@ -60,35 +65,9 @@ val run :
     in-flight workloads still complete (and are merged), so with [jobs >
     1] and one of these set, [workloads_run] may exceed what a sequential
     run would have executed. The [events] list is truncated to
-    [stop_after_findings] entries. *)
+    [stop_after_findings] entries.
 
-val run_seq :
-  ?opts:Harness.opts ->
-  ?minimize:(Report.t -> Report.t) ->
-  ?stop_after_findings:int ->
-  ?max_workloads:int ->
-  ?max_seconds:float ->
-  ?keep_sizes:bool ->
-  Vfs.Driver.t ->
-  (string * Vfs.Syscall.t list) Seq.t ->
-  result
-[@@ocaml.deprecated "use Campaign.run ?exec ?budget (Run records)"]
-(** @deprecated The pre-{!Run} sequential entry point; equivalent to
-    {!run} with [~exec:(Run.exec ?opts ?minimize ?keep_sizes ~jobs:1 ())]
-    and the matching budget. Removed next PR. *)
-
-val run_parallel :
-  ?opts:Harness.opts ->
-  ?minimize:(Report.t -> Report.t) ->
-  ?stop_after_findings:int ->
-  ?max_workloads:int ->
-  ?max_seconds:float ->
-  ?keep_sizes:bool ->
-  ?jobs:int ->
-  Vfs.Driver.t ->
-  (string * Vfs.Syscall.t list) Seq.t ->
-  result
-[@@ocaml.deprecated "use Campaign.run ?exec ?budget (Run records)"]
-(** @deprecated The pre-{!Run} parallel entry point; equivalent to {!run}
-    with the same options carried in the records ([jobs] omitted = one
-    worker per core). Removed next PR. *)
+    When [exec.use_vcache] is set (the default), the campaign creates one
+    {!Vcache} and threads it through every harness call; worker domains
+    exchange verdicts at workload boundaries. Finding sets are identical
+    with the cache on or off, at any job count. *)

@@ -35,6 +35,7 @@ type stats = {
   mutable fences : int;
   mutable in_flight_sizes : int list;
   mutable dedup_hits : int;
+  mutable vcache_hits : int;
 }
 
 type result = {
@@ -42,6 +43,13 @@ type result = {
   stats : stats;
   trace : Persist.Trace.t;
   outcomes : Vfs.Workload.outcome list;
+}
+
+type recording = {
+  rec_calls : Vfs.Syscall.t list;
+  rec_trace : Persist.Trace.t;
+  rec_base : Pmem.Image.t;
+  rec_outcomes : Vfs.Workload.outcome list;
 }
 
 exception Stop
@@ -126,8 +134,12 @@ let usability_probe (h : Vfs.Handle.t) tree =
     dirs_deep_first;
   !fail
 
-let test_workload ?(opts = default_opts) ?minimize (driver : Vfs.Driver.t) calls =
-  (* Phase 1: execute the workload on an instrumented fresh file system. *)
+(* Phase 1: execute the workload on an instrumented fresh file system,
+   logging every PM write. The recording is self-contained: [rec_base] is
+   the post-mkfs image and [rec_trace] the full write log, so crash states
+   can be rebuilt from it any number of times without re-running the
+   workload (see [replay_recorded]). *)
+let record ?(opts = default_opts) (driver : Vfs.Driver.t) calls =
   let img = Image.create ~size:driver.Vfs.Driver.device_size in
   let pm = Pm.create img in
   let handle = driver.Vfs.Driver.mkfs pm in
@@ -141,11 +153,16 @@ let test_workload ?(opts = default_opts) ?minimize (driver : Vfs.Driver.t) calls
   let after idx _call ret = Pm.mark_syscall_end pm ~idx ~ret in
   let outcomes = Vfs.Workload.run ~before ~after handle calls in
   Pm.set_logger pm None;
+  { rec_calls = calls; rec_trace = trace; rec_base = base; rec_outcomes = outcomes }
+
+(* Phases 2+3: oracle, then the replay loop over the trace. [replay] is
+   consumed (mutated throughout); pass a snapshot to keep the base image. *)
+let replay_phases ~opts ?vcache ?minimize (driver : Vfs.Driver.t) ~calls ~trace ~outcomes
+    ~replay =
   (* Phase 2: the oracle. *)
   let oracle = Oracle.run calls in
-  (* Phase 3: replay. [base] becomes the replay device; it always holds the
-     fully-fenced prefix of the trace. *)
-  let replay = base in
+  (* Phase 3: replay. [replay] always holds the fully-fenced prefix of the
+     trace. *)
   let stats =
     {
       crash_points = 0;
@@ -155,6 +172,7 @@ let test_workload ?(opts = default_opts) ?minimize (driver : Vfs.Driver.t) calls
       fences = 0;
       in_flight_sizes = [];
       dedup_hits = 0;
+      vcache_hits = 0;
     }
   in
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -191,20 +209,23 @@ let test_workload ?(opts = default_opts) ?minimize (driver : Vfs.Driver.t) calls
         end)
       kinds
   in
-  (* Crash-state dedup cache (Vinter-style, per crash point): the checker's
-     verdict is a function of the crash-state image alone, so two subsets
-     whose writes produce byte-identical images must check identically.
-     Keyed by the effective delta against the replay image (the prefix
-     state); only the first state with a given delta is mounted and
-     checked. The empty delta is the prefix state itself, always checked
-     first as the empty subset. *)
-  let read_replay off len = Image.read replay ~off ~len in
-  let check_state_now ~phase ~replay_units ~subset_units ~n =
-    let undo = Persist.Undo.create replay in
-    List.iter
-      (fun (u : Coalesce.t) ->
-        List.iter (fun (addr, data) -> Persist.Undo.write_string undo ~off:addr data) u.parts)
-      replay_units;
+  (* The verdict-cache key half that covers the oracle slice: digest of
+     everything the checker consults at a phase besides the image itself.
+     One digest per phase per workload, computed lazily (it serializes
+     whole oracle trees). *)
+  let phase_digests : (Checker.phase, string) Hashtbl.t = Hashtbl.create 8 in
+  let phase_digest phase =
+    match Hashtbl.find_opt phase_digests phase with
+    | Some d -> d
+    | None ->
+      let d = Vcache.phase_digest oracle ~workload:calls phase in
+      Hashtbl.add phase_digests phase d;
+      d
+  in
+  (* Mount and check the current (mutated) replay image. [undo] is armed on
+   the mount's [Pm] so recovery-time writes are also rolled back by the
+   caller. *)
+  let mount_and_check ~phase ~undo =
     let pm2 = Pm.create replay in
     Pm.set_undo pm2 (Some undo);
     let kinds =
@@ -232,31 +253,65 @@ let test_workload ?(opts = default_opts) ?minimize (driver : Vfs.Driver.t) calls
         | exception e -> [ Report.Recovery_fault (Pmem.Fault.to_string e) ])
     in
     Pm.set_undo pm2 None;
-    Persist.Undo.rollback undo;
-    let subset_seqs = List.map (fun (u : Coalesce.t) -> u.Coalesce.seq) subset_units in
-    emit ~phase ~subset_seqs ~n kinds
+    kinds
   in
-  let check_state ~phase ~point_seen ~disjoint ~base_units units_arr subset_idxs ~n =
+  (* One enumerated crash state: apply its writes onto the replay image
+     under an undo session, digest the result (O(dirty lines) thanks to the
+     image's incremental digest), then consult the two caches before paying
+     for a mount+check:
+     - per-point dedup ([opts.dedup_states], PR 1): subsets producing
+       byte-identical images at this crash point are checked once; keyed by
+       the post-apply digest, which replaced the [Coalesce.effective_delta]
+       keying whose cost exceeded the mounts it saved.
+     - campaign-wide verdict cache ([vcache]): equivalent states reached at
+       other crash points or in other workloads replay the memoized kinds
+       without mounting. Reports still go through [emit] with this
+       occurrence's crash point, so finding sets are unchanged. *)
+  let check_state ~phase ~point_seen ~base_units units_arr subset_idxs ~n =
     stats.crash_states <- stats.crash_states + 1;
     let subset_units = List.map (fun i -> units_arr.(i)) subset_idxs in
     let replay_units = base_units @ subset_units in
+    let undo = Persist.Undo.create replay in
+    List.iter
+      (fun (u : Coalesce.t) ->
+        List.iter (fun (addr, data) -> Persist.Undo.write_string undo ~off:addr data) u.parts)
+      replay_units;
+    let dg = Image.digest replay in
     let skip =
       opts.dedup_states
       &&
-      let key =
-        Coalesce.delta_key
-          (Coalesce.effective_delta ~read:read_replay ~assume_disjoint:disjoint replay_units)
-      in
-      if Hashtbl.mem point_seen key then begin
+      if Hashtbl.mem point_seen dg then begin
         stats.dedup_hits <- stats.dedup_hits + 1;
         true
       end
       else begin
-        Hashtbl.replace point_seen key ();
+        Hashtbl.replace point_seen dg ();
         false
       end
     in
-    if not skip then check_state_now ~phase ~replay_units ~subset_units ~n
+    if skip then Persist.Undo.rollback undo
+    else begin
+      let subset_seqs = List.map (fun (u : Coalesce.t) -> u.Coalesce.seq) subset_units in
+      let finish kinds =
+        Persist.Undo.rollback undo;
+        emit ~phase ~subset_seqs ~n kinds
+      in
+      match vcache with
+      | None -> finish (mount_and_check ~phase ~undo)
+      | Some vc -> (
+        let key =
+          Vcache.key ~fs:driver.Vfs.Driver.name ~image_digest:dg
+            ~phase_digest:(phase_digest phase)
+        in
+        match Vcache.find vc key with
+        | Some kinds ->
+          stats.vcache_hits <- stats.vcache_hits + 1;
+          finish kinds
+        | None ->
+          let kinds = mount_and_check ~phase ~undo in
+          Vcache.add vc key kinds;
+          finish kinds)
+    end
   in
   (* The Vinter-style read-set heuristic (paper section 6.2): probe-mount
      the fully-fenced prefix state with a read recorder armed, then keep
@@ -319,13 +374,11 @@ let test_workload ?(opts = default_opts) ?minimize (driver : Vfs.Driver.t) calls
       let n = Array.length units_arr in
       stats.max_in_flight <- max stats.max_in_flight n;
       stats.in_flight_sizes <- n :: stats.in_flight_sizes;
-      let point_seen : (string, unit) Hashtbl.t = Hashtbl.create 32 in
-      let disjoint = not (Coalesce.overlapping all_units) in
+      let point_seen : (int, unit) Hashtbl.t = Hashtbl.create 32 in
       ignore
         (enumerate_subsets ~n ~cap:opts.cap ~limit:opts.max_states_per_point (fun idxs ->
              List.iter
-               (fun base_units ->
-                 check_state ~phase ~point_seen ~disjoint ~base_units units_arr idxs ~n)
+               (fun base_units -> check_state ~phase ~point_seen ~base_units units_arr idxs ~n)
                bases))
     end
   in
@@ -341,6 +394,9 @@ let test_workload ?(opts = default_opts) ?minimize (driver : Vfs.Driver.t) calls
     | Some i -> Checker.During i
     | None -> ( match !last_done with Some i -> Checker.After i | None -> Checker.Initial)
   in
+  (* Epoch boundary: pull verdicts other domains published before scanning
+     this workload's trace, and publish ours when done (also on Stop). *)
+  (match vcache with Some vc -> Vcache.sync vc | None -> ());
   (try
      Trace.iter trace (fun op ->
          match op with
@@ -360,6 +416,18 @@ let test_workload ?(opts = default_opts) ?minimize (driver : Vfs.Driver.t) calls
            check_point ~phase:(Checker.After idx);
            last_done := Some idx)
    with Stop -> ());
+  (match vcache with Some vc -> Vcache.sync vc | None -> ());
   let reports = List.rev !reports in
   let reports = match minimize with None -> reports | Some f -> List.map f reports in
   { reports; stats; trace; outcomes }
+
+let replay_recorded ?(opts = default_opts) ?vcache ?minimize (driver : Vfs.Driver.t) r =
+  replay_phases ~opts ?vcache ?minimize driver ~calls:r.rec_calls ~trace:r.rec_trace
+    ~outcomes:r.rec_outcomes ~replay:(Image.snapshot r.rec_base)
+
+let test_workload ?(opts = default_opts) ?vcache ?minimize (driver : Vfs.Driver.t) calls =
+  let r = record ~opts driver calls in
+  (* [rec_base] is consumed directly: one-shot runs never reuse it, and this
+     avoids a full-image copy per workload in the campaign hot path. *)
+  replay_phases ~opts ?vcache ?minimize driver ~calls ~trace:r.rec_trace
+    ~outcomes:r.rec_outcomes ~replay:r.rec_base

@@ -37,8 +37,8 @@ type opts = {
   dedup_states : bool;
       (** Crash-state dedup cache (Vinter deduplicates crash images by
           content before tracing them): per crash point, key each enumerated
-          state by its effective delta — the (address, bytes) writes that
-          actually change the replay image — and mount/walk/check only the
+          state by its post-apply {!Pmem.Image.digest} — O(dirty lines) via
+          the image's incremental digest — and mount/walk/check only the
           first state with a given key. Byte-identical images must check
           identically, so detected reports are unchanged; skips are counted
           in [stats.dedup_hits]. On by default. *)
@@ -50,15 +50,24 @@ type stats = {
   mutable crash_points : int;
   mutable crash_states : int;
   mutable failed_mounts : int;
+      (** Failed {e actual} mount attempts: states served from a cache do
+          not re-mount, so a cached [Unmountable] verdict is not re-counted
+          here. *)
   mutable max_in_flight : int;  (** Largest coalesced in-flight vector seen. *)
   mutable fences : int;
   mutable in_flight_sizes : int list;  (** One sample per crash point. *)
   mutable dedup_hits : int;
       (** Crash states skipped by the dedup cache: enumerated subsets whose
-          effective delta matched an already-checked state at the same
-          crash point. [crash_states] still counts every enumerated state,
-          so the mount+check work actually done is
-          [crash_states - dedup_hits]. *)
+          post-apply image digest matched an already-checked state at the
+          same crash point. [crash_states] still counts every enumerated
+          state, so the mount+check work actually done is
+          [crash_states - dedup_hits - vcache_hits]. *)
+  mutable vcache_hits : int;
+      (** Crash states whose verdict was served by the campaign-wide
+          {!Vcache} instead of a mount+check. Unlike [dedup_hits] (per
+          crash point, deterministic per workload), vcache hit counts
+          depend on what other workloads — possibly on other domains —
+          populated the cache first; findings are unaffected either way. *)
 }
 
 type result = {
@@ -68,9 +77,45 @@ type result = {
   outcomes : Vfs.Workload.outcome list;
 }
 
+type recording = {
+  rec_calls : Vfs.Syscall.t list;
+  rec_trace : Persist.Trace.t;  (** Full PM write log of the run. *)
+  rec_base : Pmem.Image.t;  (** Post-mkfs device image. *)
+  rec_outcomes : Vfs.Workload.outcome list;
+}
+(** A completed phase-1 run (instrumented workload execution), self-contained:
+    crash states can be rebuilt from [rec_base] + [rec_trace] any number of
+    times without re-running the workload. *)
+
+val record : ?opts:opts -> Vfs.Driver.t -> Vfs.Syscall.t list -> recording
+(** Phase 1 only: run [calls] on a fresh instrumented file system and log
+    its PM writes. [opts] matters only for [granularity]. *)
+
+val replay_recorded :
+  ?opts:opts ->
+  ?vcache:Vcache.t ->
+  ?minimize:(Report.t -> Report.t) ->
+  Vfs.Driver.t ->
+  recording ->
+  result
+(** Phases 2–3 on an existing recording: oracle + crash-state replay, on a
+    snapshot of [rec_base] (the recording stays reusable). Equivalent to
+    {!test_workload} on the recording's calls, minus the re-recording —
+    the probe primitive behind [Shrink.Minimize]'s trace-replay cache. *)
+
 val test_workload :
-  ?opts:opts -> ?minimize:(Report.t -> Report.t) -> Vfs.Driver.t -> Vfs.Syscall.t list -> result
-(** Run the full pipeline for one workload on one file system.
+  ?opts:opts ->
+  ?vcache:Vcache.t ->
+  ?minimize:(Report.t -> Report.t) ->
+  Vfs.Driver.t ->
+  Vfs.Syscall.t list ->
+  result
+(** Run the full pipeline ({!record} then replay) for one workload on one
+    file system.
+
+    [vcache], when given, memoizes checker verdicts campaign-wide (see
+    {!Vcache}); the harness syncs it at the start and end of the replay
+    loop. Findings are identical with or without it.
 
     [minimize] is applied to each report after per-workload fingerprint
     dedup (so it runs once per unique finding, not once per crash state) —

@@ -16,12 +16,21 @@ type exec = {
   minimize : (Report.t -> Report.t) option;
   keep_sizes : bool;
   jobs : int;
+  use_vcache : bool;
 }
 
-let default_exec = { opts = Harness.default_opts; minimize = None; keep_sizes = true; jobs = 1 }
+let default_exec =
+  {
+    opts = Harness.default_opts;
+    minimize = None;
+    keep_sizes = true;
+    jobs = 1;
+    use_vcache = true;
+  }
 
-let exec ?(opts = Harness.default_opts) ?minimize ?(keep_sizes = true) ?(jobs = 1) () =
-  { opts; minimize; keep_sizes; jobs }
+let exec ?(opts = Harness.default_opts) ?minimize ?(keep_sizes = true) ?(jobs = 1)
+    ?(use_vcache = true) () =
+  { opts; minimize; keep_sizes; jobs; use_vcache }
 
 let effective_jobs e = if e.jobs <= 0 then Pool.default_jobs () else min e.jobs 64
 
@@ -34,4 +43,9 @@ let out_of_budget b ~execs ~seconds ~findings ~workloads =
   || hit b.max_workloads workloads
 
 let workload ?(exec = default_exec) driver calls =
-  Harness.test_workload ~opts:exec.opts ?minimize:exec.minimize driver calls
+  (* The cache is created fresh per call: vcache entries are only valid for
+     one driver instance (buggy and clean variants share fs names). Within a
+     single workload it still pays off — equivalent states recur across
+     crash points. *)
+  let vcache = if exec.use_vcache then Some (Vcache.create ()) else None in
+  Harness.test_workload ~opts:exec.opts ?vcache ?minimize:exec.minimize driver calls

@@ -51,17 +51,24 @@ type exec = {
   jobs : int;
       (** Worker domains. [1] (the default) runs in the calling domain;
           [0] or negative means one per core ({!Pool.default_jobs}). *)
+  use_vcache : bool;
+      (** Campaign-wide verdict cache (see {!Vcache}): runners create one
+          fresh cache per run and thread it through every harness call, so
+          equivalent crash states across workloads skip their mount+check.
+          Findings are identical on or off; only [vcache_hits] counters
+          (and wall-clock) change. On by default. *)
 }
 
 val default_exec : exec
 (** [{ opts = Harness.default_opts; minimize = None; keep_sizes = true;
-    jobs = 1 }] *)
+    jobs = 1; use_vcache = true }] *)
 
 val exec :
   ?opts:Harness.opts ->
   ?minimize:(Report.t -> Report.t) ->
   ?keep_sizes:bool ->
   ?jobs:int ->
+  ?use_vcache:bool ->
   unit ->
   exec
 (** Constructor; omitted fields default to {!default_exec}'s values. *)
@@ -79,6 +86,6 @@ val out_of_budget :
 
 val workload : ?exec:exec -> Vfs.Driver.t -> Vfs.Syscall.t list -> Harness.result
 (** The single-workload entry point on the shared config record:
-    {!Harness.test_workload} with [exec.opts] and [exec.minimize].
-    [exec.jobs] is ignored (one workload is one unit of work);
-    budgets do not apply. *)
+    {!Harness.test_workload} with [exec.opts], [exec.minimize] and (when
+    [exec.use_vcache]) a fresh per-call verdict cache. [exec.jobs] is
+    ignored (one workload is one unit of work); budgets do not apply. *)

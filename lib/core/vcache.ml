@@ -1,0 +1,165 @@
+(* Campaign-wide verdict cache.
+
+   The checker's verdict for a crash state depends only on (a) the crash
+   image bytes — which determine the mounted tree, (b) the crash phase's
+   oracle slice (the rendered syscall plus the pre/post trees it is compared
+   against, or the fsync target for weak systems), and (c) the file system's
+   contract (atomic_data / consistency — fixed per driver). It does NOT
+   depend on which workload or crash point produced the state, so verdicts
+   memoized under the key (fs, oracle-slice digest, image digest) are shared
+   across crash points and across workloads: ACE workload families share long
+   syscall prefixes, so whole mount+check rounds repeat campaign-wide.
+
+   Concurrency follows the PR 3 pattern (lib/cov): each domain works against
+   a private view (lock-free hot path) and periodically [sync]s with a
+   mutex-protected shared table. The shared side keeps a newest-first log so
+   a sync pulls only entries published since the domain's last visit. Caches
+   are transparent for findings — a hit replays the exact kinds the checker
+   would compute — so jobs=1 vs jobs=N stay finding-for-finding identical
+   even though hit *counts* depend on scheduling. *)
+
+type entry = Report.kind list
+
+type shared = {
+  mutex : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  mutable log : (string * entry) list;  (* newest first *)
+  mutable published : int;  (* List.length log *)
+}
+
+type local = {
+  view : (string, entry) Hashtbl.t;
+  mutable fresh : (string * entry) list;  (* added locally since last sync *)
+  mutable pulled : int;  (* shared.published at last sync *)
+}
+
+type t = { shared : shared; dls : local Domain.DLS.key }
+
+let create () =
+  {
+    shared =
+      { mutex = Mutex.create (); table = Hashtbl.create 1024; log = []; published = 0 };
+    dls =
+      Domain.DLS.new_key (fun () ->
+          { view = Hashtbl.create 1024; fresh = []; pulled = 0 });
+  }
+
+let local t = Domain.DLS.get t.dls
+let find t key = Hashtbl.find_opt (local t).view key
+
+let add t key kinds =
+  let l = local t in
+  if not (Hashtbl.mem l.view key) then begin
+    Hashtbl.replace l.view key kinds;
+    l.fresh <- (key, kinds) :: l.fresh
+  end
+
+let sync t =
+  let l = local t in
+  let s = t.shared in
+  Mutex.lock s.mutex;
+  List.iter
+    (fun (k, v) ->
+      if not (Hashtbl.mem s.table k) then begin
+        Hashtbl.replace s.table k v;
+        s.log <- (k, v) :: s.log;
+        s.published <- s.published + 1
+      end)
+    l.fresh;
+  let missing = s.published - l.pulled in
+  let to_pull =
+    let rec take n lst acc =
+      if n <= 0 then acc
+      else match lst with [] -> acc | x :: rest -> take (n - 1) rest (x :: acc)
+    in
+    take missing s.log []
+  in
+  l.pulled <- s.published;
+  Mutex.unlock s.mutex;
+  l.fresh <- [];
+  List.iter
+    (fun (k, v) -> if not (Hashtbl.mem l.view k) then Hashtbl.replace l.view k v)
+    to_pull
+
+let entries t =
+  let s = t.shared in
+  Mutex.lock s.mutex;
+  let n = s.published in
+  Mutex.unlock s.mutex;
+  n
+
+(* --- keys --- *)
+
+let add_tree buf tree =
+  List.iter
+    (fun (n : Vfs.Walker.node) ->
+      Buffer.add_string buf n.path;
+      Buffer.add_char buf '\001';
+      Buffer.add_string buf
+        (match n.kind with None -> "?" | Some k -> Vfs.Types.kind_to_string k);
+      Buffer.add_string buf (string_of_int n.size);
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (string_of_int n.nlink);
+      (match n.content with
+      | None -> Buffer.add_char buf '\002'
+      | Some c ->
+        Buffer.add_char buf '=';
+        Buffer.add_string buf c);
+      (match n.entries with
+      | None -> Buffer.add_char buf '\003'
+      | Some es ->
+        List.iter
+          (fun e ->
+            Buffer.add_char buf ';';
+            Buffer.add_string buf e)
+          es);
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char buf '\004';
+          Buffer.add_string buf k;
+          Buffer.add_char buf '=';
+          Buffer.add_string buf v)
+        n.xattrs;
+      (match n.error with
+      | None -> ()
+      | Some e ->
+        Buffer.add_char buf '!';
+        Buffer.add_string buf e);
+      Buffer.add_char buf '\n')
+    tree
+
+let add_call buf workload i =
+  Buffer.add_string buf
+    (match List.nth_opt workload i with
+    | Some c -> Vfs.Syscall.to_string c
+    | None -> "?");
+  Buffer.add_char buf '\n'
+
+(* Everything the checker reads from the oracle/workload at this phase, and
+   nothing more: notably NOT the syscall index itself, so equivalent phases
+   of different workloads (shared ACE-family prefixes) share cache lines. *)
+let phase_digest oracle ~workload (phase : Checker.phase) =
+  let buf = Buffer.create 512 in
+  (match phase with
+  | Checker.Initial ->
+    Buffer.add_string buf "I\n";
+    add_tree buf (Oracle.pre oracle 0)
+  | Checker.During i ->
+    Buffer.add_string buf "D ";
+    add_call buf workload i;
+    add_tree buf (Oracle.pre oracle i);
+    Buffer.add_string buf "--\n";
+    add_tree buf (Oracle.post oracle i)
+  | Checker.After i ->
+    Buffer.add_string buf "A ";
+    add_call buf workload i;
+    (match Oracle.target oracle i with
+    | None -> ()
+    | Some p ->
+      Buffer.add_string buf p;
+      Buffer.add_char buf '\n');
+    add_tree buf (Oracle.post oracle i));
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let key ~fs ~image_digest ~phase_digest =
+  Printf.sprintf "%s|%s|%x" fs phase_digest image_digest

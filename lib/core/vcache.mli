@@ -1,0 +1,47 @@
+(** Campaign-wide verdict cache.
+
+    Memoizes {!Checker.check} verdicts (the list of {!Report.kind}s, possibly
+    empty) under a key that captures everything the verdict can depend on:
+    the file system name, a digest of the crash phase's oracle slice (rendered
+    syscall + the pre/post trees it is judged against + the fsync target for
+    weak systems) and the crash image's content {!Pmem.Image.digest}. The
+    syscall {e index} is deliberately absent, so equivalent crash states
+    reached at different positions — or in different workloads sharing an ACE
+    family prefix — hit the same cache line and skip the mount+check round
+    entirely. Reports are still emitted per occurrence with their own crash
+    point, so finding sets are byte-identical with the cache on or off.
+
+    Thread-safe via the PR 3 snapshot/merge pattern: lookups and inserts run
+    against a lock-free per-domain view ({!Domain.DLS}); {!sync} exchanges
+    fresh entries with a mutex-protected shared table at epoch boundaries
+    (the harness syncs before and after each workload's replay loop). Hit
+    counts therefore depend on scheduling, but findings never do. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, empty cache. Create one per campaign/fuzz run: entries are only
+    valid for a single driver instance (e.g. buggy and clean NOVA share the
+    ["nova"] name but mount differently). *)
+
+val key : fs:string -> image_digest:int -> phase_digest:string -> string
+(** Cache key for one crash state. *)
+
+val phase_digest : Oracle.t -> workload:Vfs.Syscall.t list -> Checker.phase -> string
+(** Digest of the oracle slice the checker consults at [phase]. Memoize per
+    (workload, phase) — it serializes whole oracle trees. *)
+
+val find : t -> string -> Report.kind list option
+(** Lookup in this domain's view only (lock-free). [Some []] means "cached as
+    consistent"; [None] means not cached here yet. *)
+
+val add : t -> string -> Report.kind list -> unit
+(** Record a verdict in this domain's view; published to other domains at the
+    next {!sync}. *)
+
+val sync : t -> unit
+(** Publish locally-added entries to the shared table and pull entries other
+    domains published since this domain's last sync. *)
+
+val entries : t -> int
+(** Number of entries published to the shared table so far. *)

@@ -34,6 +34,8 @@ type result = {
   crash_states : int;
   coverage : int;
   corpus_size : int;
+  dedup_hits : int;
+  vcache_hits : int;
   events : event list;
   clusters : Triage.cluster list;
   elapsed : float;
@@ -46,6 +48,8 @@ type slot_out = {
   s_hits : string list;  (* this execution's coverage points *)
   s_reports : Chipmunk.Report.t list;
   s_states : int;
+  s_dedup_hits : int;
+  s_vcache_hits : int;
   s_done_at : float;  (* wall-clock completion, seconds since t0 *)
 }
 
@@ -55,6 +59,12 @@ let run ?(config = default_config) ?jobs driver =
   let t0 = Unix.gettimeofday () in
   Cov.enable ();
   Cov.reset ();
+  (* One verdict cache for the whole fuzzing run; slots share it through
+     the harness's per-workload syncs. Mutated workloads keep long common
+     prefixes with their seeds, so cross-execution hits are frequent. *)
+  let vcache = if config.exec.Run.use_vcache then Some (Chipmunk.Vcache.create ()) else None in
+  let vhits = ref 0 in
+  let dhits = ref 0 in
   (* Corpus as an array so epoch snapshots are O(1) to capture and index;
      it only ever grows, at epoch boundaries, in execution order. *)
   let corpus = ref [||] in
@@ -93,12 +103,14 @@ let run ?(config = default_config) ?jobs driver =
         else Prog.mutate rng snapshot.(Random.State.int rng (Array.length snapshot))
       in
       Cov.local_reset ();
-      let r = Chipmunk.Harness.test_workload ~opts:config.exec.Run.opts driver workload in
+      let r = Chipmunk.Harness.test_workload ~opts:config.exec.Run.opts ?vcache driver workload in
       {
         s_workload = workload;
         s_hits = Cov.local_hits ();
         s_reports = r.Chipmunk.Harness.reports;
         s_states = r.Chipmunk.Harness.stats.Chipmunk.Harness.crash_states;
+        s_dedup_hits = r.Chipmunk.Harness.stats.Chipmunk.Harness.dedup_hits;
+        s_vcache_hits = r.Chipmunk.Harness.stats.Chipmunk.Harness.vcache_hits;
         s_done_at = elapsed ();
       }
     in
@@ -115,6 +127,8 @@ let run ?(config = default_config) ?jobs driver =
       (fun (_, _, o) ->
         incr execs;
         states := !states + o.s_states;
+        dhits := !dhits + o.s_dedup_hits;
+        vhits := !vhits + o.s_vcache_hits;
         let novel = List.exists (fun p -> not (Hashtbl.mem seen_cov p)) o.s_hits in
         List.iter (fun p -> Hashtbl.replace seen_cov p ()) o.s_hits;
         if novel then fresh_seeds := o.s_workload :: !fresh_seeds;
@@ -155,6 +169,8 @@ let run ?(config = default_config) ?jobs driver =
     crash_states = !states;
     coverage = Hashtbl.length seen_cov;
     corpus_size = Array.length !corpus;
+    dedup_hits = !dhits;
+    vcache_hits = !vhits;
     events;
     clusters = Triage.cluster (List.rev !all_reports);
     elapsed = elapsed ();

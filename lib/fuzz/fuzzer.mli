@@ -27,7 +27,10 @@
     with [~jobs:4] reports the {e identical} finding fingerprints, corpus
     and coverage counts, and [at_exec] attributions as [~jobs:1] for the
     same [rng_seed] — unless the [max_seconds] cap fires, which is the one
-    inherently wall-clock-dependent stop. *)
+    inherently wall-clock-dependent stop. The run-wide verdict cache
+    ({!Chipmunk.Vcache}, on by default via [exec.use_vcache]) preserves
+    this: a cache hit replays the exact kinds the checker would compute,
+    so only the hit {e counts} vary with scheduling. *)
 
 val epoch_len : int
 (** Executions per epoch (the corpus-sync granularity): 32. *)
@@ -85,6 +88,16 @@ type result = {
           union of per-execution hit sets — deterministic across job
           counts). *)
   corpus_size : int;
+  dedup_hits : int;
+      (** Summed per-execution {!Chipmunk.Harness.stats.dedup_hits}
+          (deterministic — the dedup cache is per crash point, inside one
+          execution). *)
+  vcache_hits : int;
+      (** Crash states answered from the run-wide verdict cache (summed
+          {!Chipmunk.Harness.stats.vcache_hits}); [0] with
+          [exec.use_vcache = false]. Unlike everything else in this
+          record, the count depends on domain scheduling — findings,
+          corpus and coverage do not. *)
   events : event list;  (** Unique findings in discovery order. *)
   clusters : Triage.cluster list;
   elapsed : float;

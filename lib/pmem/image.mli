@@ -8,7 +8,14 @@
 
     All accesses are bounds-checked and raise {!Fault.Out_of_bounds} on
     violation, mirroring how a stray kernel access would fault on real
-    hardware. *)
+    hardware.
+
+    The image also maintains an incremental content {!digest}: a per-cache-line
+    hash folded into a rolling root, updated on every mutation. Each write
+    rehashes only the lines it touches, so the digest of a crash state costs
+    O(dirty lines), not O(device size). The digest is a pure function of the
+    byte contents, so restoring bytes (e.g. {!Persist.Undo.rollback} writing
+    pre-images back through {!write_string}) restores the digest exactly. *)
 
 type t
 
@@ -16,6 +23,15 @@ val create : size:int -> t
 (** A zero-filled device of [size] bytes. *)
 
 val size : t -> int
+
+val digest : t -> int
+(** The rolling content digest, maintained incrementally. Equal bytes imply
+    equal digests; distinct digests imply distinct bytes. Collisions between
+    distinct contents are possible but need ~2^31 states by birthday bound. *)
+
+val rehash : t -> int
+(** Recompute {!digest} from scratch over the whole image (O(size)). Test
+    oracle for the incremental maintenance; does not mutate [t]. *)
 
 val read : t -> off:int -> len:int -> string
 (** [read t ~off ~len] copies [len] bytes starting at [off]. *)

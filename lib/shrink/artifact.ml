@@ -36,6 +36,7 @@ let stats_json (s : Minimize.stats) =
       ("subset_after", string_of_int s.Minimize.subset_after);
       ("harness_runs", string_of_int s.Minimize.harness_runs);
       ("check_runs", string_of_int s.Minimize.check_runs);
+      ("replay_probe_hits", string_of_int s.Minimize.replay_probe_hits);
     ]
 
 let to_json t =
@@ -61,6 +62,10 @@ let stats_of_json j =
   let* subset_after = int_member "subset_after" j in
   let* harness_runs = int_member "harness_runs" j in
   let* check_runs = int_member "check_runs" j in
+  (* Absent in pre-trace-replay artifacts; default rather than reject. *)
+  let replay_probe_hits =
+    match Json.member "replay_probe_hits" j with Some (Json.Int i) -> i | _ -> 0
+  in
   Ok
     {
       Minimize.ops_before;
@@ -69,6 +74,7 @@ let stats_of_json j =
       subset_after;
       harness_runs;
       check_runs;
+      replay_probe_hits;
     }
 
 let culprit_of_json j =
@@ -139,9 +145,11 @@ let pp ppf t =
   (match t.stats with
   | None -> ()
   | Some s ->
-    Format.fprintf ppf "minimized: %d -> %d ops, %d -> %d replayed writes (%d harness runs, %d rebuilds)@."
+    Format.fprintf ppf
+      "minimized: %d -> %d ops, %d -> %d replayed writes (%d recordings, %d replay-cache hits, %d rebuilds)@."
       s.Minimize.ops_before s.Minimize.ops_after s.Minimize.subset_before
-      s.Minimize.subset_after s.Minimize.harness_runs s.Minimize.check_runs);
+      s.Minimize.subset_after s.Minimize.harness_runs s.Minimize.replay_probe_hits
+      s.Minimize.check_runs);
   match t.culprits with
   | [] -> ()
   | cs ->

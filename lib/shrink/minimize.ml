@@ -18,6 +18,7 @@ type stats = {
   subset_after : int;
   harness_runs : int;
   check_runs : int;
+  replay_probe_hits : int;
 }
 
 type outcome = { report : R.t; stats : stats; culprits : culprit list }
@@ -55,18 +56,80 @@ let with_subset (report : R.t) subset =
 let calls_key calls = String.concat "\n" (List.map S.to_string calls)
 let subset_key subset = String.concat "," (List.map string_of_int subset)
 
+let rec is_prefix pre l =
+  match (pre, l) with
+  | [], _ -> true
+  | x :: pre', y :: l' -> x = y && is_prefix pre' l'
+  | _ :: _, [] -> false
+
+(* The file systems under test are deterministic, so the PM trace of a
+   prefix workload is exactly the prefix of the full recording's trace up
+   to the [calls_kept]-th Syscall_end marker. *)
+let truncate_trace trace ~calls_kept =
+  let t = Persist.Trace.create () in
+  (try
+     Persist.Trace.iter trace (fun op ->
+         Persist.Trace.record t op;
+         match op with
+         | Persist.Trace.Syscall_end { idx; _ } when idx >= calls_kept - 1 -> raise Exit
+         | _ -> ())
+   with Exit -> ());
+  t
+
+(* Recordings kept for prefix matching; a dropped one just means the next
+   matching probe re-records. Each recording holds a full device image, so
+   the memo is deliberately small. *)
+let max_memo_recordings = 8
+
 (* Phase 1: ddmin over the workload. Each probe repairs the candidate,
-   re-runs the full harness and asks whether any report still carries the
+   rebuilds its crash states and asks whether any report still carries the
    target fingerprint. The report for the winning candidate is re-derived
    from its own run, so its crash point (fence numbering, syscall indices,
-   subset) is consistent with the shorter trace. *)
+   subset) is consistent with the shorter trace.
+
+   Probes lean on two caches. The trace-replay cache: when the candidate is
+   a syscall prefix of a memoized recording (ddmin probes contiguous
+   chunks, so first-chunk and drop-a-tail-chunk candidates are prefixes —
+   of the seeded full-workload recording to begin with), phase 1 is skipped
+   and crash states are rebuilt from the truncated cached trace. And a
+   per-minimization {!Chipmunk.Vcache}: candidates share most of their
+   crash states, so verdicts memoized on one probe answer the next. *)
 let minimize_workload ~opts driver (report : R.t) =
   let target = R.fingerprint report in
   let runs = ref 0 in
+  let replay_hits = ref 0 in
+  let vcache = Chipmunk.Vcache.create () in
   let matched : (string, R.t) Hashtbl.t = Hashtbl.create 16 in
-  let probe calls =
+  let recordings = ref [] (* newest first, capped *) in
+  let record calls =
     incr runs;
-    let r = Chipmunk.Harness.test_workload ~opts driver calls in
+    let r = Chipmunk.Harness.record ~opts driver calls in
+    recordings := r :: List.filteri (fun i _ -> i < max_memo_recordings - 1) !recordings;
+    r
+  in
+  ignore (record report.R.workload);
+  let recording_for calls =
+    match
+      List.find_opt
+        (fun (r : Chipmunk.Harness.recording) ->
+          is_prefix calls r.Chipmunk.Harness.rec_calls)
+        !recordings
+    with
+    | Some r ->
+      incr replay_hits;
+      if List.length calls = List.length r.Chipmunk.Harness.rec_calls then r
+      else
+        {
+          r with
+          Chipmunk.Harness.rec_calls = calls;
+          rec_trace =
+            truncate_trace r.Chipmunk.Harness.rec_trace ~calls_kept:(List.length calls);
+          rec_outcomes = [];
+        }
+    | None -> record calls
+  in
+  let probe calls =
+    let r = Chipmunk.Harness.replay_recorded ~opts ~vcache driver (recording_for calls) in
     match List.find_opt (fun r' -> R.fingerprint r' = target) r.Chipmunk.Harness.reports with
     | Some r' ->
       Hashtbl.replace matched (calls_key calls) r';
@@ -76,7 +139,7 @@ let minimize_workload ~opts driver (report : R.t) =
   let test candidate =
     match repair_fds candidate with [] -> false | calls -> probe calls
   in
-  let minimized, _ = Ddmin.run ~test report.R.workload in
+  let minimized, _ = Ddmin.run ~probe_cache_hits:replay_hits ~test report.R.workload in
   let calls = repair_fds minimized in
   let final =
     match Hashtbl.find_opt matched (calls_key calls) with
@@ -86,7 +149,7 @@ let minimize_workload ~opts driver (report : R.t) =
          fall back to the input report rather than probing again. *)
       if calls = report.R.workload then Some report else None
   in
-  (final, !runs)
+  (final, !runs, !replay_hits)
 
 (* Phase 2: ddmin over the replayed in-flight subset, using the
    deterministic crash-state rebuild as the probe. A candidate passes when
@@ -153,8 +216,8 @@ let run ?(opts = Chipmunk.Harness.default_opts) driver (report : R.t) =
   let ops_before = List.length report.R.workload in
   let subset_before = List.length report.R.crash_point.R.subset in
   match minimize_workload ~opts driver report with
-  | None, _ -> Error "the report does not reproduce under this driver and these options"
-  | Some wl_min, harness_runs ->
+  | None, _, _ -> Error "the report does not reproduce under this driver and these options"
+  | Some wl_min, harness_runs, replay_probe_hits ->
     let final, check_runs = minimize_subset driver wl_min in
     if R.fingerprint final <> target then
       Error "minimization changed the fingerprint (ddmin accepted a bad candidate)"
@@ -170,6 +233,7 @@ let run ?(opts = Chipmunk.Harness.default_opts) driver (report : R.t) =
               subset_after = List.length final.R.crash_point.R.subset;
               harness_runs;
               check_runs;
+              replay_probe_hits;
             };
           culprits = culprits_of driver final;
         }

@@ -10,10 +10,16 @@
     harness re-run still produces a report with the {e same fingerprint}:
 
     - {b workload minimization}: ddmin over the report's syscalls, each
-      probe a full {!Chipmunk.Harness.test_workload} run. Candidates are
-      first closed over fd-vars ({!repair_fds}) so dropping an [open] or
-      [creat] does not leave later calls referencing a descriptor that no
-      longer exists.
+      probe a harness run of the candidate. Candidates are first closed
+      over fd-vars ({!repair_fds}) so dropping an [open] or [creat] does
+      not leave later calls referencing a descriptor that no longer
+      exists. Probes are served by a trace-replay cache when possible:
+      a candidate that is a syscall prefix of a memoized recording (the
+      full workload's recording seeds the memo) skips re-recording and
+      rebuilds crash states from the cached trace, truncated at the
+      candidate's last [Syscall_end]; a per-minimization
+      {!Chipmunk.Vcache} additionally memoizes checker verdicts across
+      probes.
     - {b crash-subset minimization}: ddmin over the crash point's replayed
       in-flight writes, each probe a {!Chipmunk.Reproduce.crash_state}
       rebuild + check — yielding the smallest set of writes that still
@@ -35,8 +41,17 @@ type stats = {
   ops_after : int;
   subset_before : int;
   subset_after : int;
-  harness_runs : int;  (** Full harness re-runs spent on workload ddmin. *)
+  harness_runs : int;
+      (** Workload recordings performed during workload ddmin (including
+          the seed recording of the full workload); probes answered by the
+          trace-replay cache do not re-record and are counted in
+          [replay_probe_hits] instead. *)
   check_runs : int;  (** Crash-state rebuilds spent on subset ddmin. *)
+  replay_probe_hits : int;
+      (** Workload-ddmin probes whose crash states were rebuilt from a
+          memoized recording's truncated trace instead of a fresh
+          phase-1 run (also surfaced as
+          {!Ddmin.stats.probe_cache_hits}). *)
 }
 
 type outcome = {

@@ -17,6 +17,7 @@ let () =
       ("codecs", Test_codecs.suite);
       ("crash-battery", Test_crash_battery.suite);
       ("parallel", Test_parallel.suite);
+      ("vcache", Test_vcache.suite);
       ("run", Test_run.suite);
       ("shrink", Test_shrink.suite);
       ("stress", Test_stress.suite);
