@@ -1,9 +1,9 @@
 # Convenience targets; the source of truth is dune.
 
 .PHONY: ci build test bench-perf bench-fuzz bench-shrink shrink-smoke \
-  fuzz-parallel-smoke cache-smoke clean
+  fuzz-parallel-smoke cache-smoke oracle-digest-smoke clean
 
-ci: build test shrink-smoke fuzz-parallel-smoke cache-smoke
+ci: build test shrink-smoke fuzz-parallel-smoke cache-smoke oracle-digest-smoke
 
 build:
 	dune build @all
@@ -45,6 +45,18 @@ cache-smoke:
 	test -s _build/cache-smoke-default.txt
 	diff -u _build/cache-smoke-nodedup.txt _build/cache-smoke-default.txt
 	diff -u _build/cache-smoke-novcache.txt _build/cache-smoke-default.txt
+
+# Digest-keying smoke test: verdict-cache keys built from the oracle's
+# incremental tree digests (the default) and keys built by re-serializing
+# whole oracle trees (--vcache-keys serialized, the historical scheme)
+# must produce identical finding lines on the buggy-NOVA ACE suite.
+oracle-digest-smoke:
+	dune exec bin/chipmunk_cli.exe -- ace --fs nova --buggy --suite seq1 \
+	  | grep '^fingerprint' > _build/oracle-digest-smoke-digest.txt
+	dune exec bin/chipmunk_cli.exe -- ace --fs nova --buggy --suite seq1 \
+	  --vcache-keys serialized | grep '^fingerprint' > _build/oracle-digest-smoke-serialized.txt
+	test -s _build/oracle-digest-smoke-digest.txt
+	diff -u _build/oracle-digest-smoke-serialized.txt _build/oracle-digest-smoke-digest.txt
 
 # Rewrite BENCH_parallel.json (sequential vs parallel wall-clock, dedup
 # hit-rate, states/sec) so the perf trajectory is tracked across PRs.

@@ -477,10 +477,18 @@ let parallel_perf () =
     let r = f () in
     (r, Unix.gettimeofday () -. t0)
   in
-  (* Four configs, each isolating one cache layer: no caches at all, the
-     per-point dedup alone, dedup + campaign-wide verdict cache (the
-     default), and the full config sharded over domains. *)
+  (* Five configs, each isolating one layer: no caches at all, the
+     per-point dedup alone, dedup + verdict cache keyed by whole-tree
+     serialization (the pre-digest scheme, kept as the before-measurement),
+     dedup + verdict cache on incremental oracle digests (the default), and
+     the full config sharded over domains. *)
   let no_dedup = { Chipmunk.Harness.default_opts with dedup_states = false } in
+  let serialized_keys =
+    {
+      Chipmunk.Harness.default_opts with
+      vcache_keying = Chipmunk.Vcache.Tree_serialization;
+    }
+  in
   let seq_nc, t_seq_nc =
     time (fun () ->
         Chipmunk.Campaign.run
@@ -491,6 +499,12 @@ let parallel_perf () =
     time (fun () ->
         Chipmunk.Campaign.run
           ~exec:(Chipmunk.Run.exec ~keep_sizes:false ~use_vcache:false ())
+          (mk_driver ()) (suite ()))
+  in
+  let seq_ser, t_seq_ser =
+    time (fun () ->
+        Chipmunk.Campaign.run
+          ~exec:(Chipmunk.Run.exec ~opts:serialized_keys ~keep_sizes:false ())
           (mk_driver ()) (suite ()))
   in
   let seq, t_seq =
@@ -510,6 +524,7 @@ let parallel_perf () =
   in
   let findings_equal =
     fps seq = fps par && fps seq = fps seq_nc && fps seq = fps seq_d
+    && fps seq = fps seq_ser
   in
   let checked (r : Chipmunk.Campaign.result) =
     r.Chipmunk.Campaign.crash_states - r.Chipmunk.Campaign.dedup_hits
@@ -532,14 +547,49 @@ let parallel_perf () =
   in
   row "sequential, no caches" seq_nc t_seq_nc;
   row "sequential, dedup only" seq_d t_seq_d;
+  row "sequential, vcache ser." seq_ser t_seq_ser;
   row "sequential (full)" seq t_seq;
   row (Printf.sprintf "parallel (jobs=%d)" jobs) par t_par;
   Printf.printf
-    "dedup hit-rate %.1f%% (speedup %.2fx), vcache hit-rate %.1f%% (speedup %.2fx), \
-     parallel speedup %.2fx, findings %s\n"
+    "dedup hit-rate %.1f%% (speedup %.2fx), vcache hit-rate %.1f%% (speedup %.2fx \
+     digest keys, %.2fx serialized keys), parallel speedup %.2fx, findings %s\n"
     (100.0 *. hit_rate) (t_seq_nc /. t_seq_d) (100.0 *. vcache_hit_rate) (t_seq_d /. t_seq)
-    (t_seq /. t_par)
+    (t_seq_d /. t_seq_ser) (t_seq /. t_par)
     (if findings_equal then "identical" else "DIFFER");
+  (* Digest-time breakdown (E14): seconds to key every phase of the first
+     200 suite workloads under each keying scheme, oracle construction
+     excluded — isolates what the incremental digests take off the
+     phase-key path. *)
+  let t_keys_digest, t_keys_serialized, key_workloads =
+    let prepped =
+      List.map
+        (fun (_, calls) ->
+          ( Chipmunk.Oracle.run calls,
+            Array.of_list (List.map Vfs.Syscall.to_string calls) ))
+        (List.of_seq (Seq.take 200 (suite ())))
+    in
+    let phases o =
+      Chipmunk.Checker.Initial
+      :: List.concat
+           (List.init (Chipmunk.Oracle.n_calls o) (fun i ->
+                [ Chipmunk.Checker.During i; Chipmunk.Checker.After i ]))
+    in
+    let time_keys f =
+      let t0 = Unix.gettimeofday () in
+      List.iter
+        (fun (o, texts) -> List.iter (fun p -> ignore (f o texts p)) (phases o))
+        prepped;
+      Unix.gettimeofday () -. t0
+    in
+    ( time_keys (fun o texts p -> Chipmunk.Vcache.phase_digest o ~calls:texts p),
+      time_keys (fun o texts p ->
+          Chipmunk.Vcache.phase_digest_serialized o ~calls:texts p),
+      List.length prepped )
+  in
+  Printf.printf
+    "phase keys over %d workloads: %.4fs digest, %.4fs serialized (%.1fx)\n"
+    key_workloads t_keys_digest t_keys_serialized
+    (t_keys_serialized /. t_keys_digest);
   let obj fields =
     "{" ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%S:%s" k v) fields) ^ "}"
   in
@@ -559,19 +609,24 @@ let parallel_perf () =
   let json =
     obj
       [
-        ("schema", "\"chipmunk-bench-parallel/2\"");
+        ("schema", "\"chipmunk-bench-parallel/3\"");
         ("suite", "\"nova-buggy seq1 + seq2[:600]\"");
         ("jobs", string_of_int jobs);
         ("recommended_domains", string_of_int (Domain.recommended_domain_count ()));
         ("sequential_no_dedup", run_obj seq_nc t_seq_nc);
         ("sequential_dedup_only", run_obj seq_d t_seq_d);
+        ("sequential_serialized_keys", run_obj seq_ser t_seq_ser);
         ("sequential", run_obj seq t_seq);
         ("parallel", run_obj par t_par);
         ("dedup_hit_rate", Printf.sprintf "%.4f" hit_rate);
         ("dedup_speedup", Printf.sprintf "%.3f" (t_seq_nc /. t_seq_d));
         ("vcache_hit_rate", Printf.sprintf "%.4f" vcache_hit_rate);
         ("vcache_speedup", Printf.sprintf "%.3f" (t_seq_d /. t_seq));
+        ("vcache_speedup_serialized", Printf.sprintf "%.3f" (t_seq_d /. t_seq_ser));
         ("parallel_speedup", Printf.sprintf "%.3f" (t_seq /. t_par));
+        ("phase_key_workloads", string_of_int key_workloads);
+        ("phase_key_seconds_digest", Printf.sprintf "%.4f" t_keys_digest);
+        ("phase_key_seconds_serialized", Printf.sprintf "%.4f" t_keys_serialized);
         ("findings_equal", string_of_bool findings_equal);
         ( "findings",
           "["

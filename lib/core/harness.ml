@@ -12,6 +12,7 @@ type opts = {
   granularity : Pm.granularity;
   read_set_heuristic : bool;
   dedup_states : bool;
+  vcache_keying : Vcache.keying;
 }
 
 let default_opts =
@@ -25,6 +26,7 @@ let default_opts =
     granularity = Pm.Function_level;
     read_set_heuristic = false;
     dedup_states = true;
+    vcache_keying = Vcache.Oracle_digest;
   }
 
 type stats = {
@@ -210,17 +212,28 @@ let replay_phases ~opts ?vcache ?minimize (driver : Vfs.Driver.t) ~calls ~trace 
       kinds
   in
   (* The verdict-cache key half that covers the oracle slice: digest of
-     everything the checker consults at a phase besides the image itself.
-     One digest per phase per workload, computed lazily (it serializes
-     whole oracle trees). *)
-  let phase_digests : (Checker.phase, string) Hashtbl.t = Hashtbl.create 8 in
-  let phase_digest phase =
-    match Hashtbl.find_opt phase_digests phase with
-    | Some d -> d
+     everything the checker consults at a phase besides the image itself,
+     pre-combined with the fs name into the key prefix so per-state key
+     building is a tuple allocation. One prefix per phase per workload.
+     Under the default [Oracle_digest] keying each is O(1) off the oracle's
+     incremental boundary digests; [Tree_serialization] keeps the historical
+     whole-tree rendering, so it stays memoized lazily. *)
+  let call_texts = lazy (Array.map Vfs.Syscall.to_string workload_arr) in
+  let phase_prefixes : (Checker.phase, string) Hashtbl.t = Hashtbl.create 8 in
+  let phase_prefix phase =
+    match Hashtbl.find_opt phase_prefixes phase with
+    | Some p -> p
     | None ->
-      let d = Vcache.phase_digest oracle ~workload:calls phase in
-      Hashtbl.add phase_digests phase d;
-      d
+      let texts = Lazy.force call_texts in
+      let d =
+        match opts.vcache_keying with
+        | Vcache.Oracle_digest -> Vcache.phase_digest oracle ~calls:texts phase
+        | Vcache.Tree_serialization ->
+          Vcache.phase_digest_serialized oracle ~calls:texts phase
+      in
+      let p = Vcache.prefix ~fs:driver.Vfs.Driver.name ~phase_digest:d in
+      Hashtbl.add phase_prefixes phase p;
+      p
   in
   (* Mount and check the current (mutated) replay image. [undo] is armed on
    the mount's [Pm] so recovery-time writes are also rolled back by the
@@ -291,18 +304,18 @@ let replay_phases ~opts ?vcache ?minimize (driver : Vfs.Driver.t) ~calls ~trace 
     in
     if skip then Persist.Undo.rollback undo
     else begin
-      let subset_seqs = List.map (fun (u : Coalesce.t) -> u.Coalesce.seq) subset_units in
       let finish kinds =
         Persist.Undo.rollback undo;
-        emit ~phase ~subset_seqs ~n kinds
+        if kinds <> [] then
+          let subset_seqs =
+            List.map (fun (u : Coalesce.t) -> u.Coalesce.seq) subset_units
+          in
+          emit ~phase ~subset_seqs ~n kinds
       in
       match vcache with
       | None -> finish (mount_and_check ~phase ~undo)
       | Some vc -> (
-        let key =
-          Vcache.key ~fs:driver.Vfs.Driver.name ~image_digest:dg
-            ~phase_digest:(phase_digest phase)
-        in
+        let key = Vcache.key_of ~prefix:(phase_prefix phase) ~image_digest:dg in
         match Vcache.find vc key with
         | Some kinds ->
           stats.vcache_hits <- stats.vcache_hits + 1;

@@ -42,6 +42,13 @@ type opts = {
           first state with a given key. Byte-identical images must check
           identically, so detected reports are unchanged; skips are counted
           in [stats.dedup_hits]. On by default. *)
+  vcache_keying : Vcache.keying;
+      (** How verdict-cache keys digest the oracle slice:
+          [Vcache.Oracle_digest] (default) reads the oracle's incrementally
+          maintained boundary digests in O(1) per phase;
+          [Vcache.Tree_serialization] re-serializes whole oracle trees (the
+          pre-digest scheme, kept as a differential baseline — findings are
+          identical under either). Ignored when no [vcache] is passed. *)
 }
 
 val default_opts : opts

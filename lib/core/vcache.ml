@@ -20,16 +20,21 @@
 
 type entry = Report.kind list
 
+type ckey = string * int
+(* (fs ^ "|" ^ phase-digest, image digest): structural key, so the hot path
+   never renders the image digest to hex or concatenates per state — the
+   string half is shared across every state of a phase via {!prefix}. *)
+
 type shared = {
   mutex : Mutex.t;
-  table : (string, entry) Hashtbl.t;
-  mutable log : (string * entry) list;  (* newest first *)
+  table : (ckey, entry) Hashtbl.t;
+  mutable log : (ckey * entry) list;  (* newest first *)
   mutable published : int;  (* List.length log *)
 }
 
 type local = {
-  view : (string, entry) Hashtbl.t;
-  mutable fresh : (string * entry) list;  (* added locally since last sync *)
+  view : (ckey, entry) Hashtbl.t;
+  mutable fresh : (ckey * entry) list;  (* added locally since last sync *)
   mutable pulled : int;  (* shared.published at last sync *)
 }
 
@@ -90,55 +95,50 @@ let entries t =
 
 (* --- keys --- *)
 
-let add_tree buf tree =
-  List.iter
-    (fun (n : Vfs.Walker.node) ->
-      Buffer.add_string buf n.path;
-      Buffer.add_char buf '\001';
-      Buffer.add_string buf
-        (match n.kind with None -> "?" | Some k -> Vfs.Types.kind_to_string k);
-      Buffer.add_string buf (string_of_int n.size);
-      Buffer.add_char buf '|';
-      Buffer.add_string buf (string_of_int n.nlink);
-      (match n.content with
-      | None -> Buffer.add_char buf '\002'
-      | Some c ->
-        Buffer.add_char buf '=';
-        Buffer.add_string buf c);
-      (match n.entries with
-      | None -> Buffer.add_char buf '\003'
-      | Some es ->
-        List.iter
-          (fun e ->
-            Buffer.add_char buf ';';
-            Buffer.add_string buf e)
-          es);
-      List.iter
-        (fun (k, v) ->
-          Buffer.add_char buf '\004';
-          Buffer.add_string buf k;
-          Buffer.add_char buf '=';
-          Buffer.add_string buf v)
-        n.xattrs;
-      (match n.error with
-      | None -> ()
-      | Some e ->
-        Buffer.add_char buf '!';
-        Buffer.add_string buf e);
-      Buffer.add_char buf '\n')
-    tree
+type keying = Oracle_digest | Tree_serialization
 
-let add_call buf workload i =
-  Buffer.add_string buf
-    (match List.nth_opt workload i with
-    | Some c -> Vfs.Syscall.to_string c
-    | None -> "?");
-  Buffer.add_char buf '\n'
+let call_text calls i = if i < Array.length calls then calls.(i) else "?"
 
 (* Everything the checker reads from the oracle/workload at this phase, and
    nothing more: notably NOT the syscall index itself, so equivalent phases
-   of different workloads (shared ACE-family prefixes) share cache lines. *)
-let phase_digest oracle ~workload (phase : Checker.phase) =
+   of different workloads (shared ACE-family prefixes) share cache lines.
+   The tree component is the oracle's incrementally maintained boundary
+   digest — O(1) here, O(changed nodes) amortized over the oracle run —
+   instead of a re-serialization of whole trees. Call texts are
+   length-prefixed so a pathological syscall rendering cannot straddle a
+   separator. *)
+let phase_digest oracle ~calls (phase : Checker.phase) =
+  let call i =
+    let c = call_text calls i in
+    Printf.sprintf "%d\002%s" (String.length c) c
+  in
+  match phase with
+  | Checker.Initial -> Printf.sprintf "I\001%x" (Oracle.pre_digest oracle 0)
+  | Checker.During i ->
+    Printf.sprintf "D\001%s\001%x\001%x" (call i)
+      (Oracle.pre_digest oracle i)
+      (Oracle.post_digest oracle i)
+  | Checker.After i ->
+    let tgt =
+      match Oracle.target oracle i with
+      | None -> "-"
+      | Some p -> Printf.sprintf "%d\002%s" (String.length p) p
+    in
+    Printf.sprintf "A\001%s\001%s\001%x" (call i) tgt (Oracle.post_digest oracle i)
+
+(* Pre-digest serialization keying, kept as a differential baseline: digests
+   are byte-identical to the historical rendering (which looked syscalls up
+   with List.nth_opt per call — O(n²) over a workload; callers now pass the
+   calls pre-rendered as an array). *)
+
+let add_tree buf tree =
+  List.iter (fun n -> Vfs.Walker.serialize_node buf n) tree
+
+let add_call buf calls i =
+  Buffer.add_string buf (call_text calls i);
+  Buffer.add_char buf '\n'
+
+let phase_digest_serialized oracle ~calls (phase : Checker.phase) =
   let buf = Buffer.create 512 in
   (match phase with
   | Checker.Initial ->
@@ -146,13 +146,13 @@ let phase_digest oracle ~workload (phase : Checker.phase) =
     add_tree buf (Oracle.pre oracle 0)
   | Checker.During i ->
     Buffer.add_string buf "D ";
-    add_call buf workload i;
+    add_call buf calls i;
     add_tree buf (Oracle.pre oracle i);
     Buffer.add_string buf "--\n";
     add_tree buf (Oracle.post oracle i)
   | Checker.After i ->
     Buffer.add_string buf "A ";
-    add_call buf workload i;
+    add_call buf calls i;
     (match Oracle.target oracle i with
     | None -> ()
     | Some p ->
@@ -161,5 +161,8 @@ let phase_digest oracle ~workload (phase : Checker.phase) =
     add_tree buf (Oracle.post oracle i));
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
+let prefix ~fs ~phase_digest = fs ^ "|" ^ phase_digest
+let key_of ~prefix ~image_digest : ckey = (prefix, image_digest)
+
 let key ~fs ~image_digest ~phase_digest =
-  Printf.sprintf "%s|%s|%x" fs phase_digest image_digest
+  key_of ~prefix:(prefix ~fs ~phase_digest) ~image_digest

@@ -24,18 +24,44 @@ val create : unit -> t
     valid for a single driver instance (e.g. buggy and clean NOVA share the
     ["nova"] name but mount differently). *)
 
-val key : fs:string -> image_digest:int -> phase_digest:string -> string
-(** Cache key for one crash state. *)
+type ckey
+(** A cache key: structurally the phase prefix plus the raw image digest, so
+    building one per crash state allocates a tuple, not a rendered string. *)
 
-val phase_digest : Oracle.t -> workload:Vfs.Syscall.t list -> Checker.phase -> string
-(** Digest of the oracle slice the checker consults at [phase]. Memoize per
-    (workload, phase) — it serializes whole oracle trees. *)
+val prefix : fs:string -> phase_digest:string -> string
+(** The per-phase half of the key; memoize one per (workload, phase) and
+    feed it to {!key_of} for every crash state of that phase. *)
 
-val find : t -> string -> Report.kind list option
+val key_of : prefix:string -> image_digest:int -> ckey
+(** Cache key for one crash state, from a memoized {!prefix}. O(1). *)
+
+val key : fs:string -> image_digest:int -> phase_digest:string -> ckey
+(** [key_of ~prefix:(prefix ~fs ~phase_digest) ~image_digest]. *)
+
+type keying = Oracle_digest | Tree_serialization
+(** How the oracle-slice component of the key is computed: from the oracle's
+    incrementally maintained boundary digests (the default — O(1) per
+    phase), or by re-serializing whole oracle trees (the historical scheme,
+    kept as a differential baseline; byte-identical digests to PR 4). Both
+    cover exactly what the checker reads, so findings are identical under
+    either; only hit layout and key-building cost differ. *)
+
+val phase_digest : Oracle.t -> calls:string array -> Checker.phase -> string
+(** Digest-keying oracle slice for [phase]: the [During]/[After] syscall
+    text and fsync target plus the pre/post boundary digests — no tree is
+    walked or serialized. [calls] is the pre-rendered workload
+    ([Vfs.Syscall.to_string] per call). *)
+
+val phase_digest_serialized :
+  Oracle.t -> calls:string array -> Checker.phase -> string
+(** [Tree_serialization] oracle slice for [phase]. Memoize per (workload,
+    phase) — it serializes whole oracle trees. *)
+
+val find : t -> ckey -> Report.kind list option
 (** Lookup in this domain's view only (lock-free). [Some []] means "cached as
     consistent"; [None] means not cached here yet. *)
 
-val add : t -> string -> Report.kind list -> unit
+val add : t -> ckey -> Report.kind list -> unit
 (** Record a verdict in this domain's view; published to other domains at the
     next {!sync}. *)
 

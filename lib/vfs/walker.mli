@@ -24,7 +24,33 @@ type tree = node list
 
 val capture : Handle.t -> tree
 
+val probe : Handle.t -> string -> node option
+(** Inspect the single node at [path] — [None] when it does not stat. Used by
+    the oracle's incremental digest maintainer to re-hash just the changed
+    paths; unlike crash-state mounts, the oracle's reference file system never
+    errors on a live path, so [None] simply means "absent". *)
+
 val find : tree -> string -> node option
+
+val serialize_node : Buffer.t -> node -> unit
+(** Stable byte rendering of one node covering every field [equal_node]
+    compares (plus [nlink] unconditionally). This is the canonical node
+    identity used by both tree digests here and the verdict cache's
+    serialization-mode keys. *)
+
+val hash_node : node -> int
+(** FNV-1a over [serialize_node]'s bytes. *)
+
+val combine : root:int -> count:int -> int
+(** Fold a commutative sum of per-node hashes plus the node count into a tree
+    digest; exposed so incremental maintainers produce digests byte-identical
+    to {!digest}. *)
+
+val digest : tree -> int
+(** From-scratch tree digest: [combine] over the sum of [hash_node]. Equal
+    trees (per [equal] modulo the nlink-for-directories caveat) digest
+    equally; the test battery guards that differing xattrs / nlink / errors
+    change it. *)
 
 val equal_node : node -> node -> bool
 (** Compare kind, size, content and directory entries; compare [nlink] for

@@ -18,6 +18,7 @@ let () =
       ("crash-battery", Test_crash_battery.suite);
       ("parallel", Test_parallel.suite);
       ("vcache", Test_vcache.suite);
+      ("oracle-digest", Test_oracle_digest.suite);
       ("run", Test_run.suite);
       ("shrink", Test_shrink.suite);
       ("stress", Test_stress.suite);
